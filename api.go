@@ -1,0 +1,272 @@
+package cesrm
+
+import (
+	"io"
+
+	"cesrm/internal/core"
+	"cesrm/internal/experiment"
+	"cesrm/internal/lossinfer"
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/stats"
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// ---- Simulation core ----
+
+// Engine is the deterministic discrete-event engine driving every
+// simulation; see NewEngine.
+type Engine = sim.Engine
+
+// Time is an instant of virtual time.
+type Time = sim.Time
+
+// Timer handles cancellable scheduled events.
+type Timer = sim.Timer
+
+// RNG is the seeded random source all protocol randomness flows through.
+type RNG = sim.RNG
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return sim.NewRNG(seed) }
+
+// ---- Topology ----
+
+// NodeID identifies a node of the multicast tree.
+type NodeID = topology.NodeID
+
+// None is the "no node" sentinel.
+const None = topology.None
+
+// Tree is an immutable rooted multicast tree.
+type Tree = topology.Tree
+
+// TreeSpec parameterizes random tree generation.
+type TreeSpec = topology.GenSpec
+
+// NewTree builds a tree from a parent vector (None marks the root).
+func NewTree(parents []NodeID) (*Tree, error) { return topology.New(parents) }
+
+// GenerateTree builds a random multicast tree.
+func GenerateTree(rng *RNG, spec TreeSpec) (*Tree, error) { return topology.Generate(rng, spec) }
+
+// ---- Network ----
+
+// Network simulates packet transport over a tree.
+type Network = netsim.Network
+
+// NetworkConfig holds link delay, bandwidth, packet sizes and queuing.
+type NetworkConfig = netsim.Config
+
+// Packet is a message in flight.
+type Packet = netsim.Packet
+
+// Host consumes delivered packets.
+type Host = netsim.Host
+
+// DropFunc injects per-link packet loss.
+type DropFunc = netsim.DropFunc
+
+// CrossingCounts aggregates link-crossing transmission cost.
+type CrossingCounts = netsim.CrossingCounts
+
+// NewNetwork builds a network over tree.
+func NewNetwork(eng *Engine, tree *Tree, cfg NetworkConfig) *Network {
+	return netsim.New(eng, tree, cfg)
+}
+
+// DefaultNetworkConfig returns the paper's physical parameters
+// (20 ms links, 1.5 Mbps, 1 KB payloads, 0-byte control).
+func DefaultNetworkConfig() NetworkConfig { return netsim.DefaultConfig() }
+
+// ---- SRM ----
+
+// SRMParams are SRM's scheduling parameters (C1..C3, D1..D3, session
+// period).
+type SRMParams = srm.Params
+
+// AdaptiveConfig enables Floyd-style adaptive timer adjustment.
+type AdaptiveConfig = srm.AdaptiveConfig
+
+// DistanceMode selects the session-message distance estimator.
+type DistanceMode = srm.DistanceMode
+
+// Distance estimator modes.
+const (
+	DistOneWay  = srm.DistOneWay
+	DistEchoRTT = srm.DistEchoRTT
+)
+
+// SRMAgent is one SRM protocol endpoint.
+type SRMAgent = srm.Agent
+
+// Protocol message types, exposed so loss-injection hooks can
+// discriminate traffic classes.
+type (
+	// DataMsg is an original data packet.
+	DataMsg = srm.DataMsg
+	// RequestMsg is a repair request (multicast, or unicast when
+	// expedited).
+	RequestMsg = srm.RequestMsg
+	// ReplyMsg is a repair reply (retransmission).
+	ReplyMsg = srm.ReplyMsg
+	// SessionMsg is a periodic group session message.
+	SessionMsg = srm.SessionMsg
+)
+
+// Observer receives protocol events for metrics collection.
+type Observer = srm.Observer
+
+// RecoveryInfo describes how a loss was recovered.
+type RecoveryInfo = srm.RecoveryInfo
+
+// DefaultSRMParams returns the paper's SRM settings (C1=C2=2, C3=1.5,
+// D1=D2=1, D3=1.5, 1 s sessions).
+func DefaultSRMParams() SRMParams { return srm.DefaultParams() }
+
+// DefaultAdaptiveConfig returns an enabled adaptive-timer configuration.
+func DefaultAdaptiveConfig() AdaptiveConfig { return srm.DefaultAdaptiveConfig() }
+
+// NewSRMAgent constructs an SRM endpoint at node id and registers it
+// with the network.
+func NewSRMAgent(eng *Engine, net *Network, rng *RNG, id NodeID, p SRMParams, obs Observer) (*SRMAgent, error) {
+	return srm.NewAgent(eng, net, rng, id, p, obs, nil)
+}
+
+// ---- CESRM ----
+
+// Agent is one CESRM protocol endpoint: SRM plus the caching-based
+// expedited recovery scheme.
+type Agent = core.Agent
+
+// Config parameterizes a CESRM endpoint (SRM params, reorder delay,
+// cache capacity, policy, router assistance).
+type Config = core.Config
+
+// Tuple is one cached requestor/replier record.
+type Tuple = core.Tuple
+
+// Cache is a per-source requestor/replier cache.
+type Cache = core.Cache
+
+// Policy selects the expeditious requestor/replier pair.
+type Policy = core.Policy
+
+// MostRecentLoss is the paper's preferred expedition policy.
+type MostRecentLoss = core.MostRecentLoss
+
+// MostFrequentLoss selects the most frequent cached pair.
+type MostFrequentLoss = core.MostFrequentLoss
+
+// DefaultConfig returns the paper's CESRM configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewAgent constructs a CESRM endpoint at node id and registers it with
+// the network.
+func NewAgent(eng *Engine, net *Network, rng *RNG, id NodeID, cfg Config, obs Observer) (*Agent, error) {
+	return core.NewAgent(eng, net, rng, id, cfg, obs)
+}
+
+// ---- Traces ----
+
+// Trace is a single-source IP multicast transmission trace.
+type Trace = trace.Trace
+
+// TraceSpec parameterizes synthetic trace generation.
+type TraceSpec = trace.GenSpec
+
+// CatalogEntry is one row of the paper's Table 1 with its generation
+// parameters.
+type CatalogEntry = trace.CatalogEntry
+
+// LocalityStats quantifies a trace's packet-loss locality.
+type LocalityStats = trace.LocalityStats
+
+// TraceCatalog returns the 14 Table 1 entries.
+func TraceCatalog() []CatalogEntry { return trace.Catalog }
+
+// TraceByName looks up a Table 1 entry.
+func TraceByName(name string) (CatalogEntry, bool) { return trace.ByName(name) }
+
+// GenerateTrace builds a synthetic trace.
+func GenerateTrace(spec TraceSpec) (*Trace, error) { return trace.Generate(spec) }
+
+// AnalyzeLocality computes loss-locality statistics.
+func AnalyzeLocality(t *Trace) LocalityStats { return trace.AnalyzeLocality(t) }
+
+// MarshalTrace writes a trace in the text format.
+func MarshalTrace(w io.Writer, t *Trace) error { return trace.Marshal(w, t) }
+
+// UnmarshalTrace parses a trace in the text format.
+func UnmarshalTrace(r io.Reader) (*Trace, error) { return trace.Unmarshal(r) }
+
+// ---- Loss inference (§4.2) ----
+
+// LinkRates maps links to estimated loss probabilities.
+type LinkRates = lossinfer.LinkRates
+
+// InferenceResult is the link trace representation plus confidence
+// statistics.
+type InferenceResult = lossinfer.Result
+
+// EstimateYajnik estimates link loss rates with the subtree estimator.
+func EstimateYajnik(t *Trace) LinkRates { return lossinfer.EstimateYajnik(t) }
+
+// EstimateMLE estimates link loss rates with the Cáceres MINC MLE.
+func EstimateMLE(t *Trace) LinkRates { return lossinfer.EstimateMLE(t) }
+
+// Infer attributes every lost packet to its most probable link
+// combination.
+func Infer(t *Trace, rates LinkRates) (*InferenceResult, error) { return lossinfer.Infer(t, rates) }
+
+// ---- Metrics ----
+
+// Collector accumulates protocol events into the paper's metrics.
+type Collector = stats.Collector
+
+// Recovery records one completed loss recovery.
+type Recovery = stats.Recovery
+
+// NewCollector returns an empty metrics collector.
+func NewCollector() *Collector { return stats.New() }
+
+// ---- Evaluation harness ----
+
+// Protocol selects SRM or CESRM for a run.
+type Protocol = experiment.Protocol
+
+// Protocol values.
+const (
+	SRM   = experiment.SRM
+	CESRM = experiment.CESRM
+	LMS   = experiment.LMS
+)
+
+// RunConfig parameterizes one trace-driven run.
+type RunConfig = experiment.RunConfig
+
+// RunResult carries a completed run's metrics.
+type RunResult = experiment.RunResult
+
+// Pair couples the SRM and CESRM runs of one trace.
+type Pair = experiment.Pair
+
+// PairConfig parameterizes RunPair.
+type PairConfig = experiment.PairConfig
+
+// Suite reenacts catalog traces under both protocols.
+type Suite = experiment.Suite
+
+// SuiteResult is one trace's pair within a suite.
+type SuiteResult = experiment.SuiteResult
+
+// Run reenacts a trace under one protocol.
+func Run(cfg RunConfig) (*RunResult, error) { return experiment.Run(cfg) }
+
+// RunPair reenacts a trace under both protocols.
+func RunPair(t *Trace, cfg PairConfig) (*Pair, error) { return experiment.RunPair(t, cfg) }

@@ -1,0 +1,136 @@
+package cesrm_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cesrm"
+)
+
+// TestPublicAPIEndToEnd drives the whole library through the public
+// facade only: generate a trace, inspect locality, run both protocols,
+// and read the paper's metrics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tr, err := cesrm.GenerateTrace(cesrm.TraceSpec{
+		Name:         "api",
+		Topology:     cesrm.TreeSpec{Receivers: 8, Depth: 3},
+		NumPackets:   1500,
+		Period:       80 * time.Millisecond,
+		TargetLosses: 450,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc := cesrm.AnalyzeLocality(tr); loc.LocalityRatio() < 2 {
+		t.Fatalf("locality ratio %.1f too low", loc.LocalityRatio())
+	}
+
+	pair, err := cesrm.RunPair(tr, cesrm.PairConfig{Base: cesrm.RunConfig{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.LatencyReductionPct() <= 0 {
+		t.Fatal("CESRM not faster than SRM via public API")
+	}
+	if _, ok := pair.ExpeditedSuccess(); !ok {
+		t.Fatal("no expedited statistics")
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	entry, ok := cesrm.TraceByName("WRN951216")
+	if !ok {
+		t.Fatal("catalog lookup failed")
+	}
+	tr, err := entry.Load(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cesrm.MarshalTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cesrm.UnmarshalTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalLosses() != tr.TotalLosses() {
+		t.Fatal("round trip changed the trace")
+	}
+	if len(cesrm.TraceCatalog()) != 14 {
+		t.Fatal("catalog size wrong")
+	}
+}
+
+func TestPublicAPIInference(t *testing.T) {
+	tr, err := cesrm.GenerateTrace(cesrm.TraceSpec{
+		Name:         "apiinfer",
+		Topology:     cesrm.TreeSpec{Receivers: 6, Depth: 3},
+		NumPackets:   4000,
+		Period:       40 * time.Millisecond,
+		TargetLosses: 1000,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := cesrm.EstimateYajnik(tr)
+	m := cesrm.EstimateMLE(tr)
+	if len(y) != len(m) || len(y) != tr.Tree.NumLinks() {
+		t.Fatal("estimator outputs mismatched")
+	}
+	res, err := cesrm.Infer(tr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence(0.95) <= 0 {
+		t.Fatal("no inference confidence")
+	}
+}
+
+// TestPublicAPIManualAssembly builds a simulation from the low-level
+// public pieces, without the experiment harness.
+func TestPublicAPIManualAssembly(t *testing.T) {
+	eng := cesrm.NewEngine()
+	tree, err := cesrm.NewTree([]cesrm.NodeID{cesrm.None, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cesrm.NewNetwork(eng, tree, cesrm.DefaultNetworkConfig())
+	collector := cesrm.NewCollector()
+	rng := cesrm.NewRNG(1)
+
+	agents := map[cesrm.NodeID]*cesrm.Agent{}
+	for _, id := range []cesrm.NodeID{0, 2, 3} {
+		a, err := cesrm.NewAgent(eng, net, rng.Split(), id, cesrm.DefaultConfig(), collector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[id] = a
+		a.StartSessions()
+	}
+	// Drop packet 1 on receiver 2's leaf link.
+	net.SetDropFunc(func(p *cesrm.Packet, link cesrm.NodeID, down bool) bool {
+		m, ok := p.Msg.(*cesrm.DataMsg)
+		return ok && down && link == 2 && m.Seq == 1
+	})
+	for i := 0; i < 3; i++ {
+		seq := i
+		eng.ScheduleAt(cesrm.Time(3*time.Second)+cesrm.Time(time.Duration(i)*100*time.Millisecond), func(cesrm.Time) {
+			agents[0].Transmit(seq)
+		})
+	}
+	eng.RunUntil(cesrm.Time(20 * time.Second))
+	for _, a := range agents {
+		a.Stop()
+	}
+	eng.Run()
+	if agents[2].SRM().MissingIn(0, 3) != 0 {
+		t.Fatal("manual assembly failed to recover")
+	}
+	if len(collector.Recoveries()) == 0 {
+		t.Fatal("no recoveries observed")
+	}
+}

@@ -1,0 +1,122 @@
+// Command cesrm-bench reenacts the paper's trace-driven evaluation (§4):
+// it generates the 14 Table 1 traces, runs each under SRM and CESRM, and
+// prints every table and figure of the evaluation section.
+//
+// Usage:
+//
+//	cesrm-bench [-scale 0.1] [-seed 1] [-traces 1,4,7] [-section all]
+//	            [-delay 20ms] [-lossy] [-policy most-recent] [-router-assist]
+//
+// At -scale 1 the full Table 1 packet volumes are simulated (hundreds of
+// thousands of packets per trace); smaller scales shrink volumes
+// proportionally while preserving loss rates and burst structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cesrm/internal/core"
+	"cesrm/internal/experiment"
+	"cesrm/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cesrm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cesrm-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.1, "trace volume scale in (0,1]; 1 = full Table 1 volumes")
+	seed := fs.Int64("seed", 1, "base random seed")
+	traces := fs.String("traces", "", "comma-separated 1-based trace indices (default: all 14)")
+	section := fs.String("section", "all", "output section: all, table1, sec42, summary, fig1, fig2, fig3, fig4, fig5, fig1bars, fig5bars, compare")
+	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
+	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link loss rates")
+	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
+	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var indices []int
+	if *traces != "" {
+		for _, f := range strings.Split(*traces, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad trace index %q: %w", f, err)
+			}
+			indices = append(indices, i)
+		}
+	}
+
+	netCfg := netsim.DefaultConfig()
+	netCfg.LinkDelay = *delay
+
+	cesrmCfg := core.Config{RouterAssist: *routerAssist}
+	switch *policy {
+	case "most-recent":
+		cesrmCfg.Policy = core.MostRecentLoss{}
+	case "most-frequent":
+		cesrmCfg.Policy = core.MostFrequentLoss{}
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	suite := experiment.Suite{
+		Scale:    *scale,
+		Seed:     *seed,
+		Traces:   indices,
+		Parallel: *parallel,
+		Base: experiment.RunConfig{
+			Net:           netCfg,
+			CESRM:         cesrmCfg,
+			LossyRecovery: *lossy,
+		},
+	}
+	fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v\n\n",
+		*scale, *seed, *delay, *lossy, *policy, *routerAssist)
+	results, err := suite.Run()
+	if err != nil {
+		return err
+	}
+
+	switch *section {
+	case "all":
+		experiment.RenderAll(os.Stdout, results)
+	case "table1":
+		experiment.RenderTable1(os.Stdout, results)
+	case "sec42":
+		experiment.RenderSec42(os.Stdout, results)
+	case "summary":
+		experiment.RenderSummary(os.Stdout, results)
+	case "fig1":
+		experiment.RenderFigure1(os.Stdout, results)
+	case "fig2":
+		experiment.RenderFigure2(os.Stdout, results)
+	case "fig3":
+		experiment.RenderFigure3(os.Stdout, results)
+	case "fig4":
+		experiment.RenderFigure4(os.Stdout, results)
+	case "fig5":
+		experiment.RenderFigure5(os.Stdout, results)
+	case "fig1bars":
+		experiment.RenderFigure1Bars(os.Stdout, results)
+	case "fig5bars":
+		experiment.RenderFigure5Bars(os.Stdout, results)
+	case "compare":
+		experiment.RenderComparison(os.Stdout, results, *seed)
+	default:
+		return fmt.Errorf("unknown section %q", *section)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunSections(t *testing.T) {
+	for _, section := range []string{"table1", "sec42", "summary", "fig1", "fig2", "fig3", "fig4", "fig5", "fig1bars", "fig5bars", "compare"} {
+		err := run([]string{"-scale", "0.005", "-traces", "13", "-section", section})
+		if err != nil {
+			t.Fatalf("%s: %v", section, err)
+		}
+	}
+}
+
+func TestRunAllSectionsTwoTraces(t *testing.T) {
+	if err := run([]string{"-scale", "0.005", "-traces", "4,13", "-section", "all"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, pol := range []string{"most-recent", "most-frequent"} {
+		if err := run([]string{"-scale", "0.005", "-traces", "13", "-section", "summary", "-policy", pol}); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+func TestRunLossyAndRouterAssist(t *testing.T) {
+	err := run([]string{"-scale", "0.005", "-traces", "13", "-section", "summary", "-lossy", "-router-assist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-section", "bogus", "-scale", "0.005", "-traces", "13"}); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-traces", "x"}); err == nil {
+		t.Fatal("bad trace list accepted")
+	}
+	if err := run([]string{"-traces", "99", "-scale", "0.005"}); err == nil {
+		t.Fatal("out-of-range trace accepted")
+	}
+}

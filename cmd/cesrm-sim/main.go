@@ -1,0 +1,154 @@
+// Command cesrm-sim runs a single trace-driven simulation of SRM or
+// CESRM and prints a detailed report: recovery latency distribution,
+// per-host traffic, expedited statistics and link-crossing overhead.
+//
+// The trace is either a catalog entry (-trace WRN951216) or a file
+// produced by tracegen (-file path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"cesrm/internal/core"
+	"cesrm/internal/experiment"
+	"cesrm/internal/netsim"
+	"cesrm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cesrm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cesrm-sim", flag.ContinueOnError)
+	name := fs.String("trace", "WRN951216", "catalog trace name")
+	file := fs.String("file", "", "trace file (overrides -trace)")
+	scale := fs.Float64("scale", 0.1, "catalog trace volume scale in (0,1]")
+	protoName := fs.String("protocol", "cesrm", "protocol: srm, cesrm or lms")
+	seed := fs.Int64("seed", 1, "random seed")
+	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
+	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link rates")
+	routerAssist := fs.Bool("router-assist", false, "enable router-assisted CESRM (§3.3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	var err error
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Unmarshal(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		entry, ok := trace.ByName(*name)
+		if !ok {
+			return fmt.Errorf("unknown catalog trace %q", *name)
+		}
+		tr, err = entry.Load(*scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	var proto experiment.Protocol
+	switch *protoName {
+	case "srm":
+		proto = experiment.SRM
+	case "cesrm":
+		proto = experiment.CESRM
+	case "lms":
+		proto = experiment.LMS
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+
+	netCfg := netsim.DefaultConfig()
+	netCfg.LinkDelay = *delay
+	res, err := experiment.Run(experiment.RunConfig{
+		Trace:         tr,
+		Protocol:      proto,
+		Net:           netCfg,
+		CESRM:         core.Config{RouterAssist: *routerAssist},
+		LossyRecovery: *lossy,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	report(tr, proto, res)
+	return nil
+}
+
+func report(tr *trace.Trace, proto experiment.Protocol, res *experiment.RunResult) {
+	st := tr.ComputeStats()
+	fmt.Printf("trace %s: %d receivers, depth %d, %d packets, %d losses (burst len %.1f)\n",
+		st.Name, st.Receivers, st.TreeDepth, st.Packets, st.Losses, tr.MeanBurstLength())
+	fmt.Printf("protocol %s: finished at %v (inference confidence@95%% = %.1f%%)\n\n",
+		proto, res.FinishedAt, 100*res.InferenceConfidence95)
+
+	all := res.Collector.OverallNormalized(res.RTT)
+	fr := res.Collector.FirstRoundNormalized(res.RTT)
+	fmt.Printf("recoveries: %d, mean latency %.2f RTT (first-round %.2f RTT over %d)\n",
+		all.Count, all.MeanRTT, fr.MeanRTT, fr.Count)
+	if ratio, ok := res.Collector.ExpeditedSuccessRatio(); ok {
+		tot := res.Collector.TotalCounts()
+		fmt.Printf("expedited: %d requests, %d replies (%.1f%% success)\n",
+			tot.ExpRequests, tot.ExpReplies, 100*ratio)
+	}
+
+	fmt.Println("\nper-receiver mean normalized recovery (RTT units):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  recv\tlosses\trecoveries\tmeanRTT\texpedited\treqs\texpReqs\treplies\texpReplies")
+	for _, r := range res.Receivers {
+		s := res.Collector.NormalizedRecovery(r, res.RTT)
+		exp, _ := res.Collector.NormalizedRecoverySplit(r, res.RTT)
+		hc := res.Collector.Counts(r)
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%.2f\t%d\t%d\t%d\t%d\t%d\n",
+			r, res.Collector.Losses(r), s.Count, s.MeanRTT, exp.Count,
+			hc.Requests, hc.ExpRequests, hc.Replies, hc.ExpReplies)
+	}
+	tw.Flush()
+
+	fmt.Println("\nrecovery latency percentiles (RTT units):")
+	printPercentiles(res)
+
+	c := res.Crossings
+	fmt.Printf("\nlink crossings: data=%d session=%d | retrans: mcast=%d subcast=%d ucast=%d | control: mcast=%d ucast=%d | recovery total=%d\n",
+		c.Data, c.Session, c.PayloadMulticast, c.PayloadSubcast, c.PayloadUnicast,
+		c.ControlMulticast, c.ControlUnicast, c.RecoveryTotal())
+}
+
+func printPercentiles(res *experiment.RunResult) {
+	var norm []float64
+	for _, r := range res.Collector.Recoveries() {
+		basis := res.RTT(r.Host)
+		if basis > 0 {
+			norm = append(norm, float64(r.Latency())/float64(basis))
+		}
+	}
+	if len(norm) == 0 {
+		fmt.Println("  (no recoveries)")
+		return
+	}
+	sort.Float64s(norm)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(norm)-1))
+		return norm[i]
+	}
+	fmt.Printf("  p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		pct(0.10), pct(0.50), pct(0.90), pct(0.99), norm[len(norm)-1])
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+func TestRunCatalogTraceBothProtocols(t *testing.T) {
+	for _, proto := range []string{"srm", "cesrm", "lms"} {
+		err := run([]string{"-trace", "WRN951216", "-scale", "0.005", "-protocol", proto})
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunRouterAssistAndLossy(t *testing.T) {
+	err := run([]string{"-trace", "WRN951211", "-scale", "0.005", "-router-assist", "-lossy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	tr, err := trace.Generate(trace.GenSpec{
+		Name:         "filetest",
+		Topology:     topology.GenSpec{Receivers: 6, Depth: 3},
+		NumPackets:   800,
+		Period:       80 * time.Millisecond,
+		TargetLosses: 250,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Marshal(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-file", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-trace", "NOPE"}); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+	if err := run([]string{"-protocol", "tcp"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-file", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-scale", "7"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

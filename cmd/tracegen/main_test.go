@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestGenInfoInferLocalityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+	err := run([]string{"gen", "-o", out, "-receivers", "8", "-depth", "3",
+		"-packets", "2000", "-losses", "600", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"infer", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"locality", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenRequiresOutput(t *testing.T) {
+	if err := run([]string{"gen"}); err == nil {
+		t.Fatal("gen without -o accepted")
+	}
+}
+
+func TestInfoRejectsMissingFile(t *testing.T) {
+	if err := run([]string{"info", "/nonexistent/trace"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"info"}); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"infer"}); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+}
+
+func TestCatalogSubcommand(t *testing.T) {
+	if err := run([]string{"catalog", "-scale", "0.005"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityCatalog(t *testing.T) {
+	if err := run([]string{"locality", "-scale", "0.005"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cesrm
+
+go 1.22

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// Config parameterizes a CESRM endpoint.
+type Config struct {
+	// SRM holds the fallback scheme's scheduling parameters.
+	SRM srm.Params
+	// ReorderDelay postpones expedited requests so that packets
+	// presumed missing due to reordering are not chased (§3.2). The
+	// paper's evaluation uses 0 because its simulations never reorder.
+	ReorderDelay time.Duration
+	// CacheCapacity bounds the per-source requestor/replier cache; zero
+	// selects DefaultCacheCapacity.
+	CacheCapacity int
+	// Policy selects the expeditious requestor/replier pair; nil
+	// selects MostRecentLoss, the policy the paper's evaluation uses.
+	Policy Policy
+	// RouterAssist enables the light-weight router-assisted mode of
+	// §3.3: replies learn their turning-point routers and expedited
+	// replies are unicast to the turning point and subcast downstream.
+	RouterAssist bool
+}
+
+// DefaultConfig returns the configuration used in the paper's
+// evaluation (§4.3): default SRM parameters, zero reorder delay, the
+// most-recent-loss policy, and no router assistance.
+func DefaultConfig() Config {
+	return Config{SRM: srm.DefaultParams()}
+}
+
+// Agent is one CESRM endpoint. It embeds a full SRM agent (the fallback
+// scheme runs unchanged) and adds the caching-based expedited recovery
+// scheme. It implements netsim.Host.
+type Agent struct {
+	srm *srm.Agent
+	net *netsim.Network
+	eng *sim.Engine
+	cfg Config
+
+	// caches holds one requestor/replier cache per source (§3.1).
+	caches   map[topology.NodeID]*Cache
+	capacity int
+	policy   Policy
+
+	// pendingExp tracks expedited-request timers by (source, sequence)
+	// so arrival of the packet cancels them (REORDER-DELAY handling,
+	// §3.2).
+	pendingExp map[sourceSeq]sim.Timer
+
+	expAttempts int
+}
+
+type sourceSeq struct {
+	source topology.NodeID
+	seq    int
+}
+
+var _ netsim.Host = (*Agent)(nil)
+var _ srm.Extension = (*agentExtension)(nil)
+
+// agentExtension adapts Agent to srm.Extension without exposing the
+// hook methods on the public Agent API.
+type agentExtension struct{ a *Agent }
+
+func (e *agentExtension) LossDetected(now sim.Time, source topology.NodeID, seq int) {
+	e.a.onLossDetected(now, source, seq)
+}
+func (e *agentExtension) PacketReceived(now sim.Time, source topology.NodeID, seq int) {
+	e.a.onPacketReceived(source, seq)
+}
+func (e *agentExtension) ReplyObserved(now sim.Time, m *srm.ReplyMsg, everLost bool) {
+	e.a.onReplyObserved(m, everLost)
+}
+
+// NewAgent constructs a CESRM endpoint at node id and registers it with
+// the network. obs may be nil.
+func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
+	capacity := cfg.CacheCapacity
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: cache capacity %d < 1", capacity)
+	}
+	if cfg.ReorderDelay < 0 {
+		return nil, fmt.Errorf("core: negative reorder delay %v", cfg.ReorderDelay)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = MostRecentLoss{}
+	}
+	a := &Agent{
+		net:        net,
+		eng:        eng,
+		cfg:        cfg,
+		caches:     make(map[topology.NodeID]*Cache),
+		capacity:   capacity,
+		policy:     policy,
+		pendingExp: make(map[sourceSeq]sim.Timer),
+	}
+	// The SRM agent registers itself with the network; re-register the
+	// wrapper so expedited requests are intercepted here first.
+	inner, err := srm.NewAgent(eng, net, rng, id, cfg.SRM, obs, &agentExtension{a})
+	if err != nil {
+		return nil, err
+	}
+	a.srm = inner
+	net.AttachHost(id, a)
+	return a, nil
+}
+
+// ID returns the agent's node.
+func (a *Agent) ID() topology.NodeID { return a.srm.ID() }
+
+// SRM returns the embedded fallback agent, giving access to shared
+// state inspection (losses, distances, completion).
+func (a *Agent) SRM() *srm.Agent { return a.srm }
+
+// Cache returns the agent's requestor/replier cache for the given
+// source's stream, creating an empty one on first use (§3.1: one cache
+// per source).
+func (a *Agent) Cache(source topology.NodeID) *Cache {
+	c, ok := a.caches[source]
+	if !ok {
+		var err error
+		c, err = NewCache(a.capacity)
+		if err != nil {
+			panic(err) // capacity validated at construction
+		}
+		a.caches[source] = c
+	}
+	return c
+}
+
+// PolicyName returns the active expedition policy's name.
+func (a *Agent) PolicyName() string { return a.policy.Name() }
+
+// ExpeditedAttempts counts losses for which this agent initiated (or
+// scheduled) an expedited request.
+func (a *Agent) ExpeditedAttempts() int { return a.expAttempts }
+
+// StartSessions delegates to the SRM layer.
+func (a *Agent) StartSessions() { a.srm.StartSessions() }
+
+// Stop delegates to the SRM layer.
+func (a *Agent) Stop() { a.srm.Stop() }
+
+// Transmit delegates to the SRM layer, originating packet seq of this
+// host's own stream.
+func (a *Agent) Transmit(seq int) { a.srm.Transmit(seq) }
+
+// Deliver implements netsim.Host: expedited requests are handled by the
+// expedited recovery scheme; everything else flows through SRM, whose
+// extension hooks call back into this agent.
+func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
+	if a.srm.Crashed() {
+		return
+	}
+	if m, ok := p.Msg.(*srm.RequestMsg); ok && m.Expedited {
+		a.onExpeditedRequest(now, m)
+		return
+	}
+	a.srm.Deliver(now, p)
+}
+
+// onLossDetected runs CESRM's expedited path in parallel with the SRM
+// request just scheduled (§3.2): consult the cache, and if this host is
+// the expeditious requestor of the selected pair, schedule an expedited
+// request REORDER-DELAY in the future.
+func (a *Agent) onLossDetected(now sim.Time, source topology.NodeID, seq int) {
+	tuple, ok := a.policy.Select(a.Cache(source))
+	if !ok || tuple.Requestor != a.ID() {
+		return
+	}
+	a.expAttempts++
+	replier := tuple.Replier
+	turningPoint := topology.None
+	if a.cfg.RouterAssist {
+		turningPoint = tuple.TurningPoint
+	}
+	key := sourceSeq{source, seq}
+	timer := a.eng.Schedule(a.cfg.ReorderDelay, func(sim.Time) {
+		delete(a.pendingExp, key)
+		if a.srm.Has(source, seq) {
+			return // arrived meanwhile; nothing to expedite
+		}
+		a.srm.UnicastExpeditedRequest(source, seq, replier, turningPoint)
+	})
+	a.pendingExp[key] = timer
+}
+
+// onPacketReceived cancels any pending expedited request for a packet
+// that just arrived (reordering guard, §3.2).
+func (a *Agent) onPacketReceived(source topology.NodeID, seq int) {
+	key := sourceSeq{source, seq}
+	if t, ok := a.pendingExp[key]; ok {
+		a.eng.Cancel(t)
+		delete(a.pendingExp, key)
+	}
+}
+
+// onExpeditedRequest makes this host act as the expeditious replier
+// (§3.2): if it has the packet and no reply is scheduled or pending, it
+// immediately multicasts an expedited reply (or, with router
+// assistance, unicasts it to the turning point for subcast, §3.3).
+func (a *Agent) onExpeditedRequest(now sim.Time, m *srm.RequestMsg) {
+	a.srm.SendExpeditedReply(now, m, a.cfg.RouterAssist)
+}
+
+// onReplyObserved maintains the requestor/replier cache (§3.1): replies
+// for packets this host never lost are discarded; others contribute
+// their annotated recovery tuple, keeping the optimal pair per packet.
+func (a *Agent) onReplyObserved(m *srm.ReplyMsg, everLost bool) {
+	if !everLost {
+		return
+	}
+	if m.Requestor == topology.None {
+		return
+	}
+	t := Tuple{
+		Seq:                    m.Seq,
+		Requestor:              m.Requestor,
+		ReqDistToSource:        m.ReqDistToSource,
+		Replier:                m.Replier,
+		ReplierDistToRequestor: m.ReplierDistToRequestor,
+		TurningPoint:           topology.None,
+	}
+	if a.cfg.RouterAssist {
+		// In the router-assisted variant, routers annotate each reply
+		// copy with the turning point at which it was forwarded
+		// downstream toward this host: the highest router the copy
+		// crossed between replier and this receiver.
+		t.TurningPoint = a.net.Tree().TurningPoint(m.Replier, a.ID())
+	}
+	a.Cache(m.Source).Update(t)
+}
+
+// Crash delegates to the SRM layer, making the whole endpoint
+// fail-stop (expedited requests are also ignored once crashed).
+func (a *Agent) Crash() { a.srm.Crash() }
+
+// Crashed reports whether Crash has been called.
+func (a *Agent) Crashed() bool { return a.srm.Crashed() }

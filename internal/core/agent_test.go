@@ -1,0 +1,421 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// obsLog records observer events for assertions.
+type obsLog struct {
+	recoveries []recEvent
+	requests   int
+	expReqs    map[topology.NodeID]int
+	replies    int
+	expReplies int
+}
+
+type recEvent struct {
+	host topology.NodeID
+	seq  int
+	at   sim.Time
+	info srm.RecoveryInfo
+}
+
+func newObsLog() *obsLog { return &obsLog{expReqs: map[topology.NodeID]int{}} }
+
+func (l *obsLog) LossDetected(_, _ topology.NodeID, _ int, _ sim.Time) {}
+func (l *obsLog) Recovered(h, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	l.recoveries = append(l.recoveries, recEvent{h, seq, at, info})
+}
+func (l *obsLog) RequestSent(_, _ topology.NodeID, _ int, _ int) { l.requests++ }
+func (l *obsLog) ExpRequestSent(h, _ topology.NodeID, _ int) {
+	l.expReqs[h]++
+}
+func (l *obsLog) ReplySent(h, source topology.NodeID, seq int, expedited bool) {
+	if expedited {
+		l.expReplies++
+	} else {
+		l.replies++
+	}
+}
+func (l *obsLog) SessionSent(topology.NodeID) {}
+
+// detConfig returns a deterministic CESRM config (zero-width SRM timer
+// windows).
+func detConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SRM.C2 = 0
+	cfg.SRM.D2 = 0
+	return cfg
+}
+
+type bed struct {
+	eng    *sim.Engine
+	net    *netsim.Network
+	tree   *topology.Tree
+	agents map[topology.NodeID]*Agent
+	log    *obsLog
+}
+
+func newBed(t *testing.T, tree *topology.Tree, cfg Config) *bed {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	log := newObsLog()
+	b := &bed{eng: eng, net: net, tree: tree, agents: map[topology.NodeID]*Agent{}, log: log}
+	rng := sim.NewRNG(3)
+	hosts := append([]topology.NodeID{tree.Root()}, tree.Receivers()...)
+	for _, id := range hosts {
+		a, err := NewAgent(eng, net, rng.Split(), id, cfg, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.agents[id] = a
+	}
+	for _, x := range hosts {
+		for _, y := range hosts {
+			if x != y {
+				b.agents[x].SRM().SetDistance(y, net.Distance(x, y))
+			}
+		}
+	}
+	return b
+}
+
+func (b *bed) sendData(n int, period time.Duration) {
+	src := b.agents[b.tree.Root()]
+	for i := 0; i < n; i++ {
+		seq := i
+		b.eng.ScheduleAt(sim.Time(time.Duration(i)*period), func(sim.Time) {
+			src.Transmit(seq)
+		})
+	}
+}
+
+func yTree() *topology.Tree {
+	return topology.MustNew([]topology.NodeID{topology.None, 0, 1, 1})
+}
+
+// forkTree: 0 -> 1 -> 2 (receiver) and 1 -> 3 -> 4 (receiver).
+func forkTree() *topology.Tree {
+	return topology.MustNew([]topology.NodeID{topology.None, 0, 1, 1, 3})
+}
+
+func dropSeqsOnLink(link topology.LinkID, seqs ...int) netsim.DropFunc {
+	return func(p *netsim.Packet, l topology.LinkID, down bool) bool {
+		m, ok := p.Msg.(*srm.DataMsg)
+		if !ok || !down || l != link {
+			return false
+		}
+		for _, s := range seqs {
+			if m.Seq == s {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func TestCacheWarmsFromSRMRecovery(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	// Receiver 2 lost seq 1 and recovered via SRM; its cache must hold
+	// the recovery tuple with itself as requestor.
+	c := b.agents[2].Cache(0)
+	tu, ok := c.Get(1)
+	if !ok {
+		t.Fatal("recovery tuple not cached")
+	}
+	if tu.Requestor != 2 {
+		t.Fatalf("cached requestor = %d, want 2", tu.Requestor)
+	}
+	if tu.ReqDistToSource != 40*time.Millisecond {
+		t.Fatalf("cached d̂qs = %v, want 40ms", tu.ReqDistToSource)
+	}
+	// Receiver 3 never lost seq 1: its cache stays empty (§3.1).
+	if b.agents[3].Cache(0).Len() != 0 {
+		t.Fatal("non-losing receiver cached a tuple")
+	}
+}
+
+func TestSecondLossRecoversExpedited(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	// The second loss (seq 6) is detected well after the first one's
+	// recovery completes, so the cache is warm by then. (Losses within
+	// one detection window share a cold cache, as in the paper: the
+	// first burst is never expedited.)
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1, 6))
+	b.sendData(8, 100*time.Millisecond)
+	b.eng.Run()
+
+	var first, second *recEvent
+	for i := range b.log.recoveries {
+		r := &b.log.recoveries[i]
+		switch r.seq {
+		case 1:
+			first = r
+		case 6:
+			second = r
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatal("missing recoveries")
+	}
+	if first.info.Expedited {
+		t.Fatal("first loss (cold cache) recovered expedited")
+	}
+	if !second.info.Expedited {
+		t.Fatal("second loss not recovered expedited")
+	}
+	if b.log.expReqs[2] != 1 {
+		t.Fatalf("expedited requests from receiver 2 = %d, want 1", b.log.expReqs[2])
+	}
+	if b.log.expReplies != 1 {
+		t.Fatalf("expedited replies = %d, want 1", b.log.expReplies)
+	}
+	// The expedited recovery must be substantially faster than the SRM
+	// one (the whole point of the protocol).
+	srmLatency := first.at // relative comparisons need detection times; compare via agents
+	_ = srmLatency
+	var srmDur, expDur time.Duration
+	for _, lr := range b.agents[2].SRM().Losses() {
+		switch lr.Seq {
+		case 1:
+			srmDur = lr.RecoveredAt.Sub(lr.DetectedAt)
+		case 6:
+			expDur = lr.RecoveredAt.Sub(lr.DetectedAt)
+		}
+	}
+	if expDur >= srmDur {
+		t.Fatalf("expedited recovery (%v) not faster than SRM recovery (%v)", expDur, srmDur)
+	}
+	// On this 2-deep tree C1*d (80 ms) is shorter than the expedited
+	// round trip (~91 ms), so the SRM request for seq 6 fires before the
+	// expedited reply lands — one multicast request per loss. On the
+	// paper's deeper trees the expedited reply wins and suppresses it
+	// (asserted at integration level in internal/experiment).
+	if b.log.requests != 2 {
+		t.Fatalf("multicast requests = %d, want 2", b.log.requests)
+	}
+}
+
+func TestExpeditedFailsWhenReplierSharesLoss(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	// Prime receiver 2's cache to expedite toward receiver 3.
+	b.agents[2].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 3, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	// Both receivers lose seq 1: the expedited replier shares the loss.
+	b.net.SetDropFunc(dropSeqsOnLink(1, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.log.expReqs[2] != 1 {
+		t.Fatalf("expedited requests = %d, want 1", b.log.expReqs[2])
+	}
+	if b.log.expReplies != 0 {
+		t.Fatal("sharing replier sent an expedited reply")
+	}
+	// Fallback SRM recovery must still complete for both receivers.
+	if b.agents[2].SRM().MissingIn(0, 3) != 0 || b.agents[3].SRM().MissingIn(0, 3) != 0 {
+		t.Fatal("fallback recovery incomplete")
+	}
+	for _, r := range b.log.recoveries {
+		if r.info.Expedited {
+			t.Fatal("recovery marked expedited despite failure")
+		}
+	}
+}
+
+func TestOnlyCachedRequestorExpedites(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	// Receiver 3's cache names receiver 2 as the expeditious requestor;
+	// receiver 3 must NOT unicast an expedited request itself.
+	b.agents[3].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 0, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	b.net.SetDropFunc(dropSeqsOnLink(1, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.log.expReqs[3] != 0 {
+		t.Fatal("non-requestor receiver expedited")
+	}
+	if b.agents[3].ExpeditedAttempts() != 0 {
+		t.Fatal("ExpeditedAttempts counted for non-requestor")
+	}
+}
+
+func TestReorderDelayDefersExpeditedRequest(t *testing.T) {
+	cfg := detConfig()
+	cfg.ReorderDelay = 20 * time.Millisecond
+	b := newBed(t, yTree(), cfg)
+	b.agents[2].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 0, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.agents[2].ExpeditedAttempts() != 1 {
+		t.Fatalf("attempts = %d, want 1", b.agents[2].ExpeditedAttempts())
+	}
+	if b.log.expReqs[2] != 1 {
+		t.Fatalf("expedited requests = %d, want 1 (delay must not cancel)", b.log.expReqs[2])
+	}
+	// The expedited reply still arrives before the SRM repair reply, so
+	// the recovery is marked expedited.
+	for _, r := range b.log.recoveries {
+		if r.host == 2 && r.seq == 1 && !r.info.Expedited {
+			t.Fatal("deferred expedited request did not win the recovery")
+		}
+	}
+}
+
+func TestReorderDelayCancelsWhenPacketArrives(t *testing.T) {
+	cfg := detConfig()
+	// A reorder delay longer than the whole SRM recovery: the packet
+	// arrives (via the fallback path) within the delay, so the
+	// expedited unicast must be cancelled.
+	cfg.ReorderDelay = 2 * time.Second
+	b := newBed(t, yTree(), cfg)
+	b.agents[2].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 0, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.agents[2].ExpeditedAttempts() != 1 {
+		t.Fatalf("attempts = %d, want 1", b.agents[2].ExpeditedAttempts())
+	}
+	if b.log.expReqs[2] != 0 {
+		t.Fatalf("expedited requests = %d, want 0 (cancelled by arrival)", b.log.expReqs[2])
+	}
+	for _, r := range b.log.recoveries {
+		if r.info.Expedited {
+			t.Fatal("recovery wrongly marked expedited")
+		}
+	}
+	if b.agents[2].SRM().MissingIn(0, 3) != 0 {
+		t.Fatal("recovery incomplete")
+	}
+}
+
+func TestRouterAssistSubcastsExpeditedReply(t *testing.T) {
+	cfg := detConfig()
+	cfg.RouterAssist = true
+	b := newBed(t, forkTree(), cfg)
+	// Receiver 4's cache points at replier 2 with turning point 1
+	// (LCA(2,4)).
+	b.agents[4].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 4, ReqDistToSource: 60 * time.Millisecond,
+		Replier: 2, ReplierDistToRequestor: 60 * time.Millisecond,
+		TurningPoint: 1,
+	})
+	// Seq 1 lost below router 3 only: receiver 4 loses, receiver 2 has.
+	b.net.SetDropFunc(dropSeqsOnLink(3, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.log.expReplies != 1 {
+		t.Fatalf("expedited replies = %d, want 1", b.log.expReplies)
+	}
+	var rec *recEvent
+	for i := range b.log.recoveries {
+		if b.log.recoveries[i].host == 4 && b.log.recoveries[i].seq == 1 {
+			rec = &b.log.recoveries[i]
+		}
+	}
+	if rec == nil || !rec.info.Expedited {
+		t.Fatal("receiver 4 did not recover via expedited subcast")
+	}
+	counts := b.net.Counts()
+	if counts.PayloadSubcast == 0 {
+		t.Fatal("no subcast crossings recorded")
+	}
+	if counts.PayloadUnicast == 0 {
+		t.Fatal("no unicast leg recorded for the turning-point delivery")
+	}
+	// Localized recovery: the subcast stays below router 1 — links
+	// below 1 are {2,3,4} and the unicast leg 2->1 is 1 crossing.
+	if counts.PayloadSubcast != 3 {
+		t.Fatalf("subcast crossings = %d, want 3", counts.PayloadSubcast)
+	}
+	if counts.PayloadUnicast != 1 {
+		t.Fatalf("unicast payload crossings = %d, want 1", counts.PayloadUnicast)
+	}
+}
+
+func TestRouterAssistCachesTurningPoints(t *testing.T) {
+	cfg := detConfig()
+	cfg.RouterAssist = true
+	b := newBed(t, forkTree(), cfg)
+	// Receiver 4 loses seq 1 and recovers via plain SRM; the cached
+	// tuple must carry the turning point of the recovering reply.
+	b.net.SetDropFunc(dropSeqsOnLink(3, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	tu, ok := b.agents[4].Cache(0).Get(1)
+	if !ok {
+		t.Fatal("no cached tuple")
+	}
+	if tu.TurningPoint == topology.None {
+		t.Fatal("turning point not annotated in router-assist mode")
+	}
+	want := b.tree.TurningPoint(tu.Replier, 4)
+	if tu.TurningPoint != want {
+		t.Fatalf("turning point = %d, want %d", tu.TurningPoint, want)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, yTree(), netsim.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ReorderDelay = -time.Second
+	if _, err := NewAgent(eng, net, sim.NewRNG(1), 2, cfg, nil); err == nil {
+		t.Fatal("negative reorder delay accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CacheCapacity = -1
+	if _, err := NewAgent(eng, net, sim.NewRNG(1), 2, cfg, nil); err == nil {
+		t.Fatal("negative cache capacity accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SRM.SessionPeriod = -1
+	if _, err := NewAgent(eng, net, sim.NewRNG(1), 2, cfg, nil); err == nil {
+		t.Fatal("invalid SRM params accepted")
+	}
+}
+
+func TestPolicyNameAndDefaults(t *testing.T) {
+	b := newBed(t, yTree(), DefaultConfig())
+	a := b.agents[2]
+	if a.PolicyName() != "most-recent-loss" {
+		t.Fatalf("default policy = %q", a.PolicyName())
+	}
+	if a.Cache(0).Capacity() != DefaultCacheCapacity {
+		t.Fatalf("default capacity = %d", a.Cache(0).Capacity())
+	}
+	if a.ID() != 2 {
+		t.Fatal("wrong ID")
+	}
+}

@@ -1,0 +1,203 @@
+// Package core implements the Caching-Enhanced Scalable Reliable
+// Multicast (CESRM) protocol of Livadas and Keidar (DSN 2004).
+//
+// CESRM runs SRM's recovery scheme unchanged and, in parallel, a
+// caching-based expedited recovery scheme (§3): each receiver caches
+// the optimal requestor/replier pair that recovered its recent losses
+// from each source; upon a new loss, the receiver consults the cache
+// and — if it is itself the cached requestor — immediately unicasts an
+// expedited request to the cached replier, which immediately multicasts
+// the packet, bypassing SRM's suppression delays. If expedited recovery
+// fails (further loss, or the replier shares the loss), SRM's scheme
+// recovers the packet as usual.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+// Tuple is one cached recovery record ⟨i, q, d̂qs, r, d̂rq⟩ (§3.1): the
+// requestor/replier pair that carried out the recovery of packet i,
+// with the annotated distance estimates.
+type Tuple struct {
+	// Seq is the recovered packet's sequence number.
+	Seq int
+	// Requestor is the host whose request instigated the recovery.
+	Requestor topology.NodeID
+	// ReqDistToSource is the requestor's annotated distance to the
+	// source (d̂qs).
+	ReqDistToSource time.Duration
+	// Replier is the host that retransmitted the packet.
+	Replier topology.NodeID
+	// ReplierDistToRequestor is the replier's annotated distance to the
+	// requestor (d̂rq).
+	ReplierDistToRequestor time.Duration
+	// TurningPoint is the annotated turning-point router for
+	// router-assisted operation (§3.3); None without router assistance.
+	TurningPoint topology.NodeID
+}
+
+// RecoveryDelay is the paper's optimality metric for a cached pair:
+// d̂qs + 2*d̂rq, preferring requestors close to the source and repliers
+// that minimize round-trip recovery latency.
+func (t Tuple) RecoveryDelay() time.Duration {
+	return t.ReqDistToSource + 2*t.ReplierDistToRequestor
+}
+
+// Pair identifies a requestor/replier pair irrespective of packet.
+type Pair struct {
+	Requestor, Replier topology.NodeID
+}
+
+// Pair returns the tuple's requestor/replier pair.
+func (t Tuple) Pair() Pair { return Pair{t.Requestor, t.Replier} }
+
+// Cache holds the optimal requestor/replier tuples of a receiver's most
+// recent losses from one source (§3.1). At most one tuple is kept per
+// packet — the optimal one — and at most Capacity packets are tracked,
+// evicting the least recent packet first.
+type Cache struct {
+	capacity int
+	entries  map[int]Tuple
+}
+
+// DefaultCacheCapacity is the default number of recent losses tracked.
+// The most-recent-loss policy only ever consults the newest entry, but a
+// deeper cache serves the most-frequent-loss policy.
+const DefaultCacheCapacity = 16
+
+// NewCache returns a cache tracking up to capacity recent packets.
+func NewCache(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: cache capacity %d < 1", capacity)
+	}
+	return &Cache{capacity: capacity, entries: make(map[int]Tuple, capacity)}, nil
+}
+
+// Len returns the number of cached tuples.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Capacity returns the maximum number of cached tuples.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Get returns the cached tuple for packet seq.
+func (c *Cache) Get(seq int) (Tuple, bool) {
+	t, ok := c.entries[seq]
+	return t, ok
+}
+
+// Update processes a recovery tuple observed on a repair reply (§3.1).
+// If the packet is already cached, the stored tuple is replaced only if
+// the new one affords a smaller recovery delay. Otherwise the tuple is
+// inserted, evicting the least recent packet when full; tuples for
+// packets less recent than everything cached are discarded when full.
+// It returns whether the cache changed.
+func (c *Cache) Update(t Tuple) bool {
+	if cur, ok := c.entries[t.Seq]; ok {
+		if t.RecoveryDelay() < cur.RecoveryDelay() {
+			c.entries[t.Seq] = t
+			return true
+		}
+		return false
+	}
+	if len(c.entries) >= c.capacity {
+		oldest := t.Seq
+		for seq := range c.entries {
+			if seq < oldest {
+				oldest = seq
+			}
+		}
+		if oldest == t.Seq {
+			return false // less recent than everything cached
+		}
+		delete(c.entries, oldest)
+	}
+	c.entries[t.Seq] = t
+	return true
+}
+
+// MostRecent returns the tuple of the most recent cached packet.
+func (c *Cache) MostRecent() (Tuple, bool) {
+	best := -1
+	for seq := range c.entries {
+		if seq > best {
+			best = seq
+		}
+	}
+	if best < 0 {
+		return Tuple{}, false
+	}
+	return c.entries[best], true
+}
+
+// MostFrequentPair returns the tuple whose requestor/replier pair
+// appears most frequently in the cache; ties break toward the more
+// recent packet.
+func (c *Cache) MostFrequentPair() (Tuple, bool) {
+	if len(c.entries) == 0 {
+		return Tuple{}, false
+	}
+	counts := make(map[Pair]int)
+	for _, t := range c.entries {
+		counts[t.Pair()]++
+	}
+	var best Tuple
+	bestCount := -1
+	found := false
+	for _, t := range c.entries {
+		n := counts[t.Pair()]
+		if n > bestCount || (n == bestCount && t.Seq > best.Seq) {
+			best, bestCount, found = t, n, true
+		}
+	}
+	return best, found
+}
+
+// Tuples returns a snapshot of all cached tuples in unspecified order.
+func (c *Cache) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(c.entries))
+	for _, t := range c.entries {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Policy selects the expeditious requestor/replier pair for a new loss
+// from the cache (§3.2). Implementations must not mutate the cache.
+type Policy interface {
+	// Select returns the tuple to expedite with, or false when the
+	// cache offers no candidate.
+	Select(c *Cache) (Tuple, bool)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// MostRecentLoss is the paper's preferred policy (§4.3): use the
+// optimal pair that recovered the most recent loss, exploiting the
+// observation that a loss's location correlates most strongly with the
+// most recent loss's location.
+type MostRecentLoss struct{}
+
+// Select implements Policy.
+func (MostRecentLoss) Select(c *Cache) (Tuple, bool) { return c.MostRecent() }
+
+// Name implements Policy.
+func (MostRecentLoss) Name() string { return "most-recent-loss" }
+
+// MostFrequentLoss selects the pair appearing most frequently among the
+// cached recoveries (§3.2).
+type MostFrequentLoss struct{}
+
+// Select implements Policy.
+func (MostFrequentLoss) Select(c *Cache) (Tuple, bool) { return c.MostFrequentPair() }
+
+// Name implements Policy.
+func (MostFrequentLoss) Name() string { return "most-frequent-loss" }
+
+var (
+	_ Policy = MostRecentLoss{}
+	_ Policy = MostFrequentLoss{}
+)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// TestCacheEvolvesPastCrashedReplier exercises the §3.3 robustness
+// claim: when a cached expeditious replier crashes, expedited recoveries
+// fail, SRM's fallback keeps recovering losses, and the cache evolves to
+// a live replier so later losses are expedited again.
+func TestCacheEvolvesPastCrashedReplier(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	// Prime receiver 2 to expedite toward receiver 3.
+	b.agents[2].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 3, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	// Crash receiver 3 early; receiver 2 then loses packets 1 and 6 on
+	// its leaf link.
+	b.eng.ScheduleAt(sim.Time(10*time.Millisecond), func(sim.Time) {
+		b.agents[3].SRM().Crash()
+	})
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1, 6))
+	b.sendData(9, 100*time.Millisecond)
+	b.eng.Run()
+
+	// Loss of seq 1: expedited request went to the dead host 3 — no
+	// expedited reply — and SRM (the source) recovered the packet. The
+	// recovery reply rewrites the cache with a live replier.
+	if b.log.expReplies == 0 {
+		t.Fatal("no expedited reply at all: cache never evolved past the crash")
+	}
+	tu, ok := b.agents[2].Cache(0).MostRecent()
+	if !ok {
+		t.Fatal("cache empty after recoveries")
+	}
+	if tu.Replier == 3 {
+		t.Fatal("cache still names the crashed replier")
+	}
+	// Loss of seq 6 must have been expedited via the evolved pair.
+	var seq6Expedited bool
+	for _, r := range b.log.recoveries {
+		if r.host == 2 && r.seq == 6 {
+			seq6Expedited = r.info.Expedited
+		}
+	}
+	if !seq6Expedited {
+		t.Fatal("post-crash loss not expedited via evolved cache")
+	}
+	// Everything recovered despite the crash.
+	if b.agents[2].SRM().MissingIn(0, 9) != 0 {
+		t.Fatal("receiver 2 missing packets")
+	}
+}
+
+// TestCrashedCESRMAgentIgnoresExpeditedRequests verifies a crashed host
+// does not serve as expeditious replier.
+func TestCrashedCESRMAgentIgnoresExpeditedRequests(t *testing.T) {
+	b := newBed(t, yTree(), detConfig())
+	b.agents[2].Cache(0).Update(Tuple{
+		Seq: 0, Requestor: 2, ReqDistToSource: 40 * time.Millisecond,
+		Replier: 3, ReplierDistToRequestor: 40 * time.Millisecond,
+		TurningPoint: topology.None,
+	})
+	b.agents[3].SRM().Crash()
+	b.net.SetDropFunc(dropSeqsOnLink(2, 1))
+	b.sendData(3, 100*time.Millisecond)
+	b.eng.Run()
+
+	if b.log.expReqs[2] != 1 {
+		t.Fatalf("expedited requests = %d, want 1", b.log.expReqs[2])
+	}
+	if b.log.expReplies != 0 {
+		t.Fatal("crashed host answered an expedited request")
+	}
+	if b.agents[2].SRM().MissingIn(0, 3) != 0 {
+		t.Fatal("fallback did not recover")
+	}
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barChart renders grouped horizontal bar charts in plain text, echoing
+// the paper's per-receiver bar figures. Each row holds one label and one
+// value per series; bars are scaled to the chart-wide maximum.
+type barChart struct {
+	title  string
+	series []string // series names, one bar per row each
+	rows   []barRow
+	// width is the maximum bar width in runes.
+	width int
+}
+
+type barRow struct {
+	label  string
+	values []float64
+}
+
+func newBarChart(title string, series ...string) *barChart {
+	return &barChart{title: title, series: series, width: 48}
+}
+
+func (c *barChart) add(label string, values ...float64) {
+	if len(values) != len(c.series) {
+		panic(fmt.Sprintf("experiment: bar row %q has %d values for %d series", label, len(values), len(c.series)))
+	}
+	c.rows = append(c.rows, barRow{label: label, values: values})
+}
+
+// glyphs distinguish series within a group.
+var barGlyphs = []rune{'█', '▒', '░', '▓'}
+
+func (c *barChart) render(w io.Writer) {
+	fmt.Fprintln(w, c.title)
+	max := 0.0
+	for _, r := range c.rows {
+		for _, v := range r.values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	labelWidth := 0
+	for _, r := range c.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	for i, s := range c.series {
+		fmt.Fprintf(w, "  %c %s", barGlyphs[i%len(barGlyphs)], s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range c.rows {
+		for i, v := range r.values {
+			n := int(v / max * float64(c.width))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			label := r.label
+			if i > 0 {
+				label = strings.Repeat(" ", len(r.label))
+			}
+			fmt.Fprintf(w, "  %-*s %s %.2f\n", labelWidth, label,
+				strings.Repeat(string(barGlyphs[i%len(barGlyphs)]), n), v)
+		}
+	}
+}
+
+// RenderFigure1Bars renders Figure 1 as per-receiver bar pairs (SRM vs
+// CESRM normalized recovery time), one chart per trace.
+func RenderFigure1Bars(w io.Writer, results []SuiteResult) {
+	fmt.Fprintln(w, "Figure 1 (bars): per-receiver average normalized recovery time (RTT units)")
+	for _, r := range results {
+		c := newBarChart(fmt.Sprintf("Trace %s", r.Entry.Name), "SRM", "CESRM")
+		for _, row := range r.Pair.Figure1() {
+			c.add(fmt.Sprintf("recv %d", row.Index), row.SRMMean, row.CESRMMean)
+		}
+		c.render(w)
+	}
+}
+
+// RenderFigure5Bars renders Figure 5 (right) as per-trace bars of
+// CESRM's overhead relative to SRM.
+func RenderFigure5Bars(w io.Writer, results []SuiteResult) {
+	c := newBarChart("Figure 5 (bars): CESRM overhead as % of SRM", "retransmissions", "control")
+	for _, r := range results {
+		o := r.Pair.Overhead()
+		c.add(r.Entry.Name, o.RetransPct, o.ControlTotalPct())
+	}
+	c.render(w)
+}

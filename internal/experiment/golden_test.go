@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGoldenDeterministicTotals pins the exact event totals of one small
+// run per protocol. Every piece of the stack is deterministic in the
+// seed — trace generation, inference, timer draws, event ordering — so
+// any change to these numbers means protocol behavior changed. If the
+// change is intentional, update the goldens; if not, a refactor broke
+// timing or ordering somewhere.
+func TestGoldenDeterministicTotals(t *testing.T) {
+	tr := smallTrace(t, 99)
+	if tr.TotalLosses() != 615 {
+		t.Fatalf("trace golden drifted: losses = %d, want 615", tr.TotalLosses())
+	}
+
+	type golden struct {
+		recoveries, requests, expReqs, replies, expReplies int
+		crossings                                          uint64
+		finished                                           time.Duration
+	}
+	want := map[Protocol]golden{
+		SRM:   {615, 516, 0, 1653, 0, 30366, 164907752403 * time.Nanosecond},
+		CESRM: {606, 162, 438, 362, 384, 13816, 164907752403 * time.Nanosecond},
+		LMS:   {610, 610, 0, 610, 0, 5978, 165 * time.Second},
+	}
+	for p, g := range want {
+		res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		tot := res.Collector.TotalCounts()
+		got := golden{
+			recoveries: len(res.Collector.Recoveries()),
+			requests:   tot.Requests,
+			expReqs:    tot.ExpRequests,
+			replies:    tot.Replies,
+			expReplies: tot.ExpReplies,
+			crossings:  res.Crossings.RecoveryTotal(),
+			finished:   time.Duration(res.FinishedAt),
+		}
+		if got != g {
+			t.Errorf("%v totals drifted:\n got  %+v\n want %+v", p, got, g)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package experiment wires together traces, loss inference, the network
+// simulator, the protocol agents and metrics collection to reproduce the
+// paper's trace-driven evaluation (§4): it replays a trace's packet loss
+// pattern through SRM or CESRM and reports the figures' metrics.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/core"
+	"cesrm/internal/lms"
+	"cesrm/internal/lossinfer"
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/stats"
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// Protocol selects which recovery protocol a run simulates.
+type Protocol int
+
+const (
+	// SRM is the baseline Scalable Reliable Multicast protocol.
+	SRM Protocol = iota
+	// CESRM is the caching-enhanced protocol.
+	CESRM
+	// LMS is the router-assisted Light-weight Multicast Services
+	// baseline (§3.3/§5 comparison).
+	LMS
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case SRM:
+		return "SRM"
+	case CESRM:
+		return "CESRM"
+	case LMS:
+		return "LMS"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// RunConfig parameterizes one trace-driven simulation run.
+type RunConfig struct {
+	// Trace is the transmission to reenact.
+	Trace *trace.Trace
+	// Protocol selects SRM or CESRM.
+	Protocol Protocol
+	// Net holds the physical network parameters; the zero value selects
+	// netsim.DefaultConfig (20 ms links, 1.5 Mbps).
+	Net netsim.Config
+	// SRM holds scheduling parameters; the zero value selects
+	// srm.DefaultParams.
+	SRM srm.Params
+	// CESRM holds CESRM-specific settings; its SRM field is overwritten
+	// by the run's SRM parameters.
+	CESRM core.Config
+	// LMS holds LMS-specific settings (heartbeat, NAK retry, detection
+	// slack); zero values select defaults.
+	LMS lms.Config
+	// LMSRefresh is the router replier-state staleness window after a
+	// crash report; zero selects 5 s.
+	LMSRefresh time.Duration
+	// Adaptive enables SRM's adaptive timer adjustment on every host
+	// (Floyd et al. ToN 1997 §VI); the paper's evaluation uses fixed
+	// parameters.
+	Adaptive srm.AdaptiveConfig
+	// Jitter adds a uniform random delay in [0, Jitter) to every
+	// delivery, producing transient packet reordering. The paper's
+	// simulations never reorder (REORDER-DELAY is 0 there); jitter
+	// exercises the REORDER-DELAY mechanism. With jitter enabled hosts
+	// may transiently classify in-flight packets as lost, so the
+	// detected-loss cross-check against the trace is skipped.
+	Jitter time.Duration
+	// ExtraDrop, when non-nil, is consulted for every packet-link
+	// crossing in addition to the trace-driven injection; returning true
+	// drops the packet. Use it for fault injection beyond the trace —
+	// link outages, targeted partitions, adversarial drops. Session
+	// messages are exempt unless DropSessions is also set.
+	ExtraDrop netsim.DropFunc
+	// DropSessions exposes session messages to ExtraDrop too. The
+	// paper's evaluation presumes lossless session exchange; partitions
+	// and outages realistically sever it.
+	DropSessions bool
+	// LossyRecovery additionally drops recovery traffic (requests,
+	// replies, expedited traffic — never session messages) with the
+	// per-link estimated loss probabilities, as in the paper's companion
+	// experiments. The default reproduces the paper's main setup:
+	// lossless recovery.
+	LossyRecovery bool
+	// Crashes schedules fail-stop receiver crashes at the given virtual
+	// offsets from simulation start. Crashed receivers are exempt from
+	// the completion and reliability checks (they can never recover).
+	// Crashing the source is rejected.
+	Crashes map[topology.NodeID]time.Duration
+	// Seed drives all protocol randomness (timer draws, session
+	// offsets, lossy-recovery drops).
+	Seed int64
+	// Warmup is the session-exchange period before the first data
+	// packet, letting hosts learn inter-host distances; zero selects
+	// 3 session periods.
+	Warmup time.Duration
+	// MaxTail bounds the virtual time the run may spend recovering
+	// after the last data packet; zero selects 10 minutes. Exceeding it
+	// fails the run (it indicates a protocol liveness bug, or extreme
+	// lossy-recovery unluck).
+	MaxTail time.Duration
+}
+
+// RunResult carries a completed run's metrics.
+type RunResult struct {
+	// Config echoes the run configuration.
+	Config RunConfig
+	// Collector holds the protocol-event metrics.
+	Collector *stats.Collector
+	// Crossings holds the link-crossing cost counters.
+	Crossings netsim.CrossingCounts
+	// InferredRates is the link loss estimate that drove loss injection.
+	InferredRates lossinfer.LinkRates
+	// InferenceConfidence95 is the §4.2 confidence statistic of the
+	// link attribution (fraction of selections above 0.95 probability).
+	InferenceConfidence95 float64
+	// FinishedAt is the virtual time at which all losses had been
+	// recovered and the run quiesced.
+	FinishedAt sim.Time
+	// SpuriousExpedited counts expedited requests sent for packets the
+	// trace never lost — reordering mirages (only nonzero with Jitter
+	// and a REORDER-DELAY below the jitter magnitude).
+	SpuriousExpedited int
+	// RTT returns a receiver's round-trip normalization basis (its RTT
+	// to the source), for use with the Collector's aggregations.
+	RTT stats.RTTFunc
+	// Receivers lists the receiver nodes in trace order.
+	Receivers []topology.NodeID
+}
+
+// agent abstracts over the protocol endpoints' lifecycle.
+type agent interface {
+	StartSessions()
+	Stop()
+	Transmit(seq int)
+}
+
+// inspector exposes the completion-checking surface every protocol
+// endpoint shares.
+type inspector interface {
+	ClassifiedThrough(source topology.NodeID) int
+	Outstanding() int
+	MissingIn(source topology.NodeID, n int) int
+	Crashed() bool
+}
+
+// crasher is the fail-stop surface every protocol endpoint shares.
+type crasher interface{ Crash() }
+
+// Run reenacts cfg.Trace under cfg.Protocol and returns the collected
+// metrics. The run is deterministic in cfg.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("experiment: nil trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Net == (netsim.Config{}) {
+		cfg.Net = netsim.DefaultConfig()
+	}
+	if cfg.SRM == (srm.Params{}) {
+		cfg.SRM = srm.DefaultParams()
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 3 * cfg.SRM.SessionPeriod
+	}
+	if cfg.MaxTail == 0 {
+		cfg.MaxTail = 10 * time.Minute
+	}
+
+	tr := cfg.Trace
+	tree := tr.Tree
+	source := tree.Root()
+
+	// Stage 1 (§4.2): estimate link loss rates and attribute each lost
+	// packet to a link combination; the simulation injects losses on
+	// exactly those links.
+	rates := lossinfer.EstimateYajnik(tr)
+	inferred, err := lossinfer.Infer(tr, rates)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+
+	// Stage 2: build the simulated network with the loss-injection hook.
+	eng := sim.NewEngine()
+	net := netsim.New(eng, tree, cfg.Net)
+	rootRNG := sim.NewRNG(cfg.Seed)
+	dropRNG := rootRNG.Split()
+	if cfg.Jitter > 0 {
+		net.EnableJitter(rootRNG.Split(), cfg.Jitter)
+	}
+	net.SetDropFunc(func(p *netsim.Packet, link topology.LinkID, down bool) bool {
+		if cfg.ExtraDrop != nil && (!p.Session || cfg.DropSessions) && cfg.ExtraDrop(p, link, down) {
+			return true
+		}
+		if p.Session {
+			// The paper's evaluation presumes lossless session exchange.
+			return false
+		}
+		if m, ok := p.Msg.(*srm.DataMsg); ok {
+			if !down {
+				return false
+			}
+			for _, l := range inferred.Drops[m.Seq] {
+				if l == link {
+					return true
+				}
+			}
+			return false
+		}
+		// Recovery traffic: lossless in the paper's main configuration.
+		if !cfg.LossyRecovery {
+			return false
+		}
+		return dropRNG.Float64() < rates[link]
+	})
+
+	// Stage 3: instantiate protocol agents at the source and receivers.
+	// Every run carries an online invariant validator alongside the
+	// metrics collector.
+	collector := stats.New()
+	validator := stats.NewValidator()
+	observer := stats.Tee{collector, validator}
+	hosts := append([]topology.NodeID{source}, tree.Receivers()...)
+	agents := make(map[topology.NodeID]agent, len(hosts))
+	inspectors := make(map[topology.NodeID]inspector, len(hosts))
+	var fabric *lms.Fabric
+	if cfg.Protocol == LMS {
+		refresh := cfg.LMSRefresh
+		if refresh == 0 {
+			refresh = 5 * time.Second
+		}
+		fabric = lms.NewFabric(eng, tree, refresh)
+		if cfg.Adaptive.Enabled {
+			return nil, fmt.Errorf("experiment: adaptive timers are an SRM mechanism, not applicable to LMS")
+		}
+	}
+	for _, id := range hosts {
+		hostRNG := rootRNG.Split()
+		var srmAgent *srm.Agent
+		switch cfg.Protocol {
+		case SRM:
+			a, err := srm.NewAgent(eng, net, hostRNG, id, cfg.SRM, observer, nil)
+			if err != nil {
+				return nil, err
+			}
+			agents[id] = a
+			inspectors[id] = a
+			srmAgent = a
+		case CESRM:
+			cc := cfg.CESRM
+			cc.SRM = cfg.SRM
+			a, err := core.NewAgent(eng, net, hostRNG, id, cc, observer)
+			if err != nil {
+				return nil, err
+			}
+			agents[id] = a
+			inspectors[id] = a.SRM()
+			srmAgent = a.SRM()
+		case LMS:
+			a, err := lms.NewAgent(eng, net, fabric, id, cfg.LMS, observer)
+			if err != nil {
+				return nil, err
+			}
+			agents[id] = a
+			inspectors[id] = a
+		default:
+			return nil, fmt.Errorf("experiment: unknown protocol %v", cfg.Protocol)
+		}
+		if cfg.Adaptive.Enabled && srmAgent != nil {
+			if err := srmAgent.EnableAdaptiveTimers(cfg.Adaptive); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Stage 4: schedule session start, data transmission, crashes, and
+	// the completion monitor.
+	for _, a := range agents {
+		a.StartSessions()
+	}
+	for h, at := range cfg.Crashes {
+		if h == source {
+			return nil, fmt.Errorf("experiment: cannot crash the source")
+		}
+		c, ok := agents[h].(crasher)
+		if !ok {
+			return nil, fmt.Errorf("experiment: host %d is not crashable", h)
+		}
+		eng.ScheduleAt(sim.Time(at), func(sim.Time) { c.Crash() })
+	}
+	numPackets := tr.NumPackets()
+	srcAgent := agents[source]
+	for i := 0; i < numPackets; i++ {
+		seq := i
+		eng.ScheduleAt(sim.Time(cfg.Warmup+time.Duration(i)*tr.Period), func(sim.Time) {
+			srcAgent.Transmit(seq)
+		})
+	}
+
+	lastData := sim.Time(cfg.Warmup + time.Duration(numPackets-1)*tr.Period)
+	deadline := lastData.Add(cfg.MaxTail)
+	complete := func() bool {
+		for _, r := range tree.Receivers() {
+			a := inspectors[r]
+			if a.Crashed() {
+				continue
+			}
+			if a.ClassifiedThrough(source) < numPackets || a.Outstanding() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var monitor func(now sim.Time)
+	timedOut := false
+	monitor = func(now sim.Time) {
+		if complete() {
+			for _, a := range agents {
+				a.Stop()
+			}
+			return
+		}
+		if now.After(deadline) {
+			timedOut = true
+			for _, a := range agents {
+				a.Stop()
+			}
+			eng.Stop()
+			return
+		}
+		eng.Schedule(cfg.SRM.SessionPeriod, monitor)
+	}
+	eng.Schedule(cfg.SRM.SessionPeriod, monitor)
+
+	finished := eng.Run()
+	if timedOut {
+		return nil, fmt.Errorf("experiment: %s/%s did not quiesce within %v after last data packet",
+			tr.Name, cfg.Protocol, cfg.MaxTail)
+	}
+
+	// Stage 5: verify the run reenacted the trace faithfully. A receiver
+	// may detect fewer losses than the trace records — a repair reply
+	// instigated by another receiver can deliver a packet before its own
+	// detection fires — but never more, and every receiver must end up
+	// holding every packet (full reliability).
+	for ri, r := range tree.Receivers() {
+		a := inspectors[r]
+		if a.Crashed() {
+			continue
+		}
+		if got, want := collector.Losses(r), tr.ReceiverLosses(ri); got > want && cfg.Jitter == 0 && cfg.ExtraDrop == nil {
+			return nil, fmt.Errorf("experiment: %s/%s receiver %d detected %d losses, trace has only %d",
+				tr.Name, cfg.Protocol, r, got, want)
+		}
+		if a.Outstanding() != 0 {
+			return nil, fmt.Errorf("experiment: receiver %d finished with %d unrecovered losses", r, a.Outstanding())
+		}
+		if miss := a.MissingIn(source, numPackets); miss != 0 {
+			return nil, fmt.Errorf("experiment: receiver %d finished missing %d packets", r, miss)
+		}
+	}
+
+	if err := validator.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s: %w", tr.Name, cfg.Protocol, err)
+	}
+
+	// Expedited requests for packets the trace never dropped are
+	// reordering artifacts (possible only under jitter).
+	spurious := 0
+	for _, k := range collector.ExpRequestedPackets() {
+		ri := tr.ReceiverIndex(k.Host)
+		if ri >= 0 && k.Seq < numPackets && !tr.Lost(ri, k.Seq) {
+			spurious++
+		}
+	}
+
+	return &RunResult{
+		Config:                cfg,
+		Collector:             collector,
+		SpuriousExpedited:     spurious,
+		Crossings:             net.Counts(),
+		InferredRates:         rates,
+		InferenceConfidence95: inferred.Confidence(0.95),
+		FinishedAt:            finished,
+		RTT: func(h topology.NodeID) time.Duration {
+			return net.RTT(h, source)
+		},
+		Receivers: tree.Receivers(),
+	}, nil
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// smallTrace generates a quick synthetic trace for integration tests.
+func smallTrace(tb testing.TB, seed int64) *trace.Trace {
+	tb.Helper()
+	tr, err := trace.Generate(trace.GenSpec{
+		Name:         "small",
+		Topology:     topology.GenSpec{Receivers: 8, Depth: 4},
+		NumPackets:   2000,
+		Period:       80 * time.Millisecond,
+		TargetLosses: 600,
+		Seed:         seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunSRMCompletes(t *testing.T) {
+	tr := smallTrace(t, 1)
+	res, err := Run(RunConfig{Trace: tr, Protocol: SRM, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Collector.Recoveries()
+	if len(recs) == 0 || len(recs) > tr.TotalLosses() {
+		t.Fatalf("recoveries = %d, want in (0, %d] (passive repair can pre-empt detection)", len(recs), tr.TotalLosses())
+	}
+	// SRM sends multicast requests and replies, never expedited traffic.
+	tc := res.Collector.TotalCounts()
+	if tc.Requests == 0 || tc.Replies == 0 {
+		t.Fatalf("SRM sent no recovery traffic: %+v", tc)
+	}
+	if tc.ExpRequests != 0 || tc.ExpReplies != 0 {
+		t.Fatalf("SRM sent expedited traffic: %+v", tc)
+	}
+	// First-round SRM recoveries should land in the band §3.4 predicts:
+	// roughly 1.5 to 3.25 RTT for C1=C2=2, D1=D2=1.
+	fr := res.Collector.FirstRoundNormalized(res.RTT)
+	if fr.Count == 0 {
+		t.Fatal("no first-round recoveries")
+	}
+	if fr.MeanRTT < 1.0 || fr.MeanRTT > 4.0 {
+		t.Errorf("first-round mean = %.2f RTT, expected in [1, 4]", fr.MeanRTT)
+	}
+}
+
+func TestRunCESRMCompletesAndExpedites(t *testing.T) {
+	tr := smallTrace(t, 1)
+	res, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Collector.Recoveries()
+	if len(recs) == 0 || len(recs) > tr.TotalLosses() {
+		t.Fatalf("recoveries = %d, want in (0, %d]", len(recs), tr.TotalLosses())
+	}
+	tc := res.Collector.TotalCounts()
+	if tc.ExpRequests == 0 {
+		t.Fatal("CESRM never attempted expedited recovery")
+	}
+	ratio, ok := res.Collector.ExpeditedSuccessRatio()
+	if !ok {
+		t.Fatal("no expedited requests recorded")
+	}
+	if ratio < 0.5 {
+		t.Errorf("expedited success ratio %.2f, want >= 0.5 on a bursty trace", ratio)
+	}
+	expedited := 0
+	for _, r := range recs {
+		if r.Expedited {
+			expedited++
+		}
+	}
+	if expedited == 0 {
+		t.Fatal("no recovery completed via expedited reply")
+	}
+}
+
+func TestCESRMFasterAndCheaperThanSRM(t *testing.T) {
+	tr := smallTrace(t, 2)
+	srmRes, err := Run(RunConfig{Trace: tr, Protocol: SRM, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cesrmRes, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srmLat := srmRes.Collector.OverallNormalized(srmRes.RTT)
+	cesrmLat := cesrmRes.Collector.OverallNormalized(cesrmRes.RTT)
+	if cesrmLat.MeanRTT >= srmLat.MeanRTT {
+		t.Errorf("CESRM mean latency %.2f RTT not below SRM's %.2f RTT", cesrmLat.MeanRTT, srmLat.MeanRTT)
+	}
+	// The paper: CESRM sends 30-80% of SRM's retransmissions.
+	srmRepl := srmRes.Collector.TotalCounts().Replies
+	cc := cesrmRes.Collector.TotalCounts()
+	cesrmRepl := cc.Replies + cc.ExpReplies
+	if cesrmRepl >= srmRepl {
+		t.Errorf("CESRM replies %d not below SRM's %d", cesrmRepl, srmRepl)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	tr := smallTrace(t, 3)
+	if _, err := Run(RunConfig{Trace: tr, Protocol: Protocol(99)}); err == nil {
+		t.Fatal("accepted unknown protocol")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := smallTrace(t, 4)
+	a, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinishedAt != b.FinishedAt {
+		t.Fatal("same seed finished at different times")
+	}
+	if a.Collector.TotalCounts() != b.Collector.TotalCounts() {
+		t.Fatal("same seed produced different counts")
+	}
+	if a.Crossings != b.Crossings {
+		t.Fatal("same seed produced different crossings")
+	}
+}
+
+// BenchmarkRunCESRM measures the end-to-end cost of one trace-driven
+// CESRM run (trace generation excluded).
+func BenchmarkRunCESRM(b *testing.B) {
+	tr := smallTrace(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

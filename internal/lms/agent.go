@@ -1,0 +1,397 @@
+package lms
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// NAKMsg is an LMS negative acknowledgment, unicast from a requestor
+// via its turning-point router to the designated replier.
+type NAKMsg struct {
+	// Seq is the missing packet.
+	Seq int
+	// Requestor is the host that detected the loss.
+	Requestor topology.NodeID
+	// TurningPoint is the router that turned the NAK toward the replier.
+	TurningPoint topology.NodeID
+	// OriginChild is the turning point's child on the requestor's side;
+	// the repair is subcast into that subtree.
+	OriginChild topology.NodeID
+}
+
+// RepairMsg is an LMS retransmission, unicast to the origin subtree's
+// head and subcast below it.
+type RepairMsg struct {
+	// Seq is the retransmitted packet.
+	Seq int
+	// Replier is the retransmitting host.
+	Replier topology.NodeID
+	// Requestor is the host whose NAK instigated the repair.
+	Requestor topology.NodeID
+}
+
+// Config parameterizes an LMS endpoint.
+type Config struct {
+	// HeartbeatPeriod is the source's state-advertisement interval
+	// (LMS's analogue of session messages; excluded from recovery
+	// overhead like SRM's session stream). Zero selects 1 s.
+	HeartbeatPeriod time.Duration
+	// RetrySlack pads the NAK retransmission timeout beyond the
+	// requestor-replier round trip. Zero selects 50 ms.
+	RetrySlack time.Duration
+	// DetectionSlack delays heartbeat-triggered loss detection, covering
+	// in-flight data serialization skew. Zero selects 50 ms.
+	DetectionSlack time.Duration
+	// MaxBackoff caps the NAK retry back-off exponent. Zero selects 16.
+	MaxBackoff int
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatPeriod == 0 {
+		c.HeartbeatPeriod = time.Second
+	}
+	if c.RetrySlack == 0 {
+		c.RetrySlack = 50 * time.Millisecond
+	}
+	if c.DetectionSlack == 0 {
+		c.DetectionSlack = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 16
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HeartbeatPeriod < 0 || c.RetrySlack < 0 || c.DetectionSlack < 0 || c.MaxBackoff < 0 {
+		return fmt.Errorf("lms: negative config value: %+v", c)
+	}
+	return nil
+}
+
+// lossState tracks one outstanding loss on a requestor.
+type lossState struct {
+	detectedAt  sim.Time
+	recovered   bool
+	recoveredAt sim.Time
+	retries     int
+	timer       sim.Timer
+}
+
+// pendingNAK is a NAK a replier could not serve yet (it shares the
+// loss); it is served as soon as the packet is recovered.
+type pendingNAK struct {
+	turningPoint topology.NodeID
+	originChild  topology.NodeID
+	requestor    topology.NodeID
+}
+
+// Agent is one LMS endpoint for a single-source transmission rooted at
+// the tree root. It implements netsim.Host.
+type Agent struct {
+	id     topology.NodeID
+	source topology.NodeID
+	eng    *sim.Engine
+	net    *netsim.Network
+	fabric *Fabric
+	cfg    Config
+	obs    srm.Observer
+
+	received      []bool
+	cursor        int
+	highestKnown  int
+	advertPending int
+
+	losses  map[int]*lossState
+	pending map[int][]pendingNAK
+
+	stopped bool
+	crashed bool
+}
+
+var _ netsim.Host = (*Agent)(nil)
+
+// NewAgent constructs an LMS endpoint at node id and registers it with
+// the network. obs may be nil.
+func NewAgent(eng *sim.Engine, net *netsim.Network, fabric *Fabric, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	if obs == nil {
+		obs = srm.NopObserver{}
+	}
+	a := &Agent{
+		id:            id,
+		source:        net.Tree().Root(),
+		eng:           eng,
+		net:           net,
+		fabric:        fabric,
+		cfg:           cfg,
+		obs:           obs,
+		highestKnown:  -1,
+		advertPending: -1,
+		losses:        make(map[int]*lossState),
+		pending:       make(map[int][]pendingNAK),
+	}
+	net.AttachHost(id, a)
+	return a, nil
+}
+
+// ID returns the agent's node.
+func (a *Agent) ID() topology.NodeID { return a.id }
+
+// StartSessions begins the source's periodic heartbeat; receivers do
+// nothing (the method exists for harness symmetry with SRM/CESRM).
+func (a *Agent) StartSessions() {
+	if a.id != a.source {
+		return
+	}
+	a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
+}
+
+func (a *Agent) heartbeatTick(now sim.Time) {
+	if a.stopped {
+		return
+	}
+	m := &srm.SessionMsg{From: a.id, SentAt: now}
+	if a.highestKnown >= 0 {
+		m.Highest = map[topology.NodeID]int{a.source: a.highestKnown}
+	}
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Control, Session: true, Msg: m})
+	a.obs.SessionSent(a.id)
+	a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
+}
+
+// Stop halts heartbeat rescheduling.
+func (a *Agent) Stop() { a.stopped = true }
+
+// Crash makes the host fail-stop and reports the failure to the fabric,
+// whose routers route around it only after the refresh delay.
+func (a *Agent) Crash() {
+	a.crashed = true
+	a.stopped = true
+	for _, ls := range a.losses {
+		a.eng.Cancel(ls.timer)
+	}
+	a.fabric.ReportCrash(a.id)
+}
+
+// Crashed reports whether Crash has been called.
+func (a *Agent) Crashed() bool { return a.crashed }
+
+// Transmit multicasts original packet seq; only the source may call it.
+func (a *Agent) Transmit(seq int) {
+	if a.id != a.source {
+		panic(fmt.Sprintf("lms: non-source host %d transmitting", a.id))
+	}
+	a.markReceived(seq)
+	a.noteExists(seq)
+	a.cursor = seq + 1
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Payload, Msg: &srm.DataMsg{Source: a.id, Seq: seq}})
+}
+
+// Has reports possession of packet seq.
+func (a *Agent) Has(seq int) bool {
+	return seq >= 0 && seq < len(a.received) && a.received[seq]
+}
+
+// MissingIn returns how many of [0, n) the agent lacks. The source
+// parameter exists for interface symmetry with srm.Agent and must be
+// the tree root.
+func (a *Agent) MissingIn(source topology.NodeID, n int) int {
+	missing := 0
+	for i := 0; i < n; i++ {
+		if !a.Has(i) {
+			missing++
+		}
+	}
+	return missing
+}
+
+// ClassifiedThrough returns the first unclassified sequence number.
+func (a *Agent) ClassifiedThrough(source topology.NodeID) int { return a.cursor }
+
+// RecoveryTime returns when packet seq was recovered, if this host
+// detected its loss and has since recovered it.
+func (a *Agent) RecoveryTime(seq int) (sim.Time, bool) {
+	ls, ok := a.losses[seq]
+	if !ok || !ls.recovered {
+		return 0, false
+	}
+	return ls.recoveredAt, true
+}
+
+// Outstanding returns the number of unrecovered detected losses.
+func (a *Agent) Outstanding() int {
+	n := 0
+	for _, ls := range a.losses {
+		if !ls.recovered {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *Agent) markReceived(seq int) {
+	for len(a.received) <= seq {
+		a.received = append(a.received, false)
+	}
+	a.received[seq] = true
+}
+
+func (a *Agent) noteExists(seq int) {
+	if seq > a.highestKnown {
+		a.highestKnown = seq
+	}
+}
+
+// Deliver implements netsim.Host.
+func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
+	if a.crashed {
+		return
+	}
+	switch m := p.Msg.(type) {
+	case *srm.DataMsg:
+		a.receivePacket(now, m.Seq, topology.None, topology.None)
+	case *srm.SessionMsg:
+		a.onHeartbeat(now, m)
+	case *NAKMsg:
+		a.onNAK(now, m)
+	case *RepairMsg:
+		a.receivePacket(now, m.Seq, m.Requestor, m.Replier)
+	default:
+		panic(fmt.Sprintf("lms: host %d received unknown message %T", a.id, p.Msg))
+	}
+}
+
+func (a *Agent) receivePacket(now sim.Time, seq int, requestor, replier topology.NodeID) {
+	a.noteExists(seq)
+	if a.Has(seq) {
+		return
+	}
+	a.markReceived(seq)
+	if ls, ok := a.losses[seq]; ok && !ls.recovered {
+		ls.recovered = true
+		ls.recoveredAt = now
+		a.eng.Cancel(ls.timer)
+		a.obs.Recovered(a.id, a.source, seq, now, srm.RecoveryInfo{
+			Requestor:   requestor,
+			Replier:     replier,
+			OwnRequests: ls.retries + 1,
+		})
+	}
+	a.detectThrough(now, seq-1)
+	if a.cursor == seq {
+		a.cursor = seq + 1
+	}
+	// Serve NAKs that were waiting on this packet.
+	if waiting, ok := a.pending[seq]; ok {
+		delete(a.pending, seq)
+		for _, w := range waiting {
+			a.sendRepair(seq, w)
+		}
+	}
+}
+
+func (a *Agent) detectThrough(now sim.Time, x int) {
+	if a.id == a.source {
+		return
+	}
+	for ; a.cursor <= x; a.cursor++ {
+		if !a.Has(a.cursor) {
+			a.detectLoss(now, a.cursor)
+		}
+	}
+}
+
+// detectLoss begins LMS recovery: the NAK goes out immediately — no
+// suppression delay, the point of router-assisted recovery — and
+// retries with exponential back-off until the repair arrives.
+func (a *Agent) detectLoss(now sim.Time, seq int) {
+	if _, ok := a.losses[seq]; ok {
+		return
+	}
+	ls := &lossState{detectedAt: now}
+	a.losses[seq] = ls
+	a.obs.LossDetected(a.id, a.source, seq, now)
+	a.sendNAK(now, seq, ls)
+}
+
+func (a *Agent) sendNAK(now sim.Time, seq int, ls *lossState) {
+	if ls.recovered {
+		return
+	}
+	tp, origin, replier, err := a.fabric.Route(a.id)
+	retryIn := a.cfg.RetrySlack * time.Duration(uint64(1)<<uint(min(ls.retries, a.cfg.MaxBackoff)))
+	if err == nil {
+		m := &NAKMsg{Seq: seq, Requestor: a.id, TurningPoint: tp, OriginChild: origin}
+		a.net.Unicast(a.id, replier, &netsim.Packet{Class: netsim.Control, Msg: m})
+		a.obs.RequestSent(a.id, a.source, seq, ls.retries)
+		retryIn += 2 * a.net.RTT(a.id, replier)
+	}
+	ls.retries++
+	ls.timer = a.eng.Schedule(retryIn, func(now sim.Time) {
+		a.sendNAK(now, seq, ls)
+	})
+}
+
+// onNAK serves a repair if this host has the packet, or queues the NAK
+// until it does (the designated replier may share the loss).
+func (a *Agent) onNAK(now sim.Time, m *NAKMsg) {
+	w := pendingNAK{turningPoint: m.TurningPoint, originChild: m.OriginChild, requestor: m.Requestor}
+	if a.Has(m.Seq) {
+		a.sendRepair(m.Seq, w)
+		return
+	}
+	// Deduplicate by origin subtree: one repair per subtree suffices.
+	for _, p := range a.pending[m.Seq] {
+		if p.originChild == w.originChild {
+			return
+		}
+	}
+	a.pending[m.Seq] = append(a.pending[m.Seq], w)
+	a.noteExists(m.Seq)
+	// The replier shares the loss: make sure its own recovery is under
+	// way (it may not have detected the gap yet).
+	a.detectThrough(now, m.Seq)
+}
+
+// sendRepair unicasts the retransmission to the origin subtree's head
+// and subcasts it below — LMS's localized recovery.
+func (a *Agent) sendRepair(seq int, w pendingNAK) {
+	m := &RepairMsg{Seq: seq, Replier: a.id, Requestor: w.requestor}
+	pkt := &netsim.Packet{Class: netsim.Payload, Msg: m}
+	a.net.UnicastThenSubcast(a.id, w.originChild, pkt)
+	a.obs.ReplySent(a.id, a.source, seq, false)
+}
+
+// onHeartbeat performs heartbeat-advertised tail-loss detection with
+// serialization slack, mirroring the SRM session mechanism.
+func (a *Agent) onHeartbeat(now sim.Time, m *srm.SessionMsg) {
+	highest, ok := m.Highest[a.source]
+	if !ok || highest < 0 {
+		return
+	}
+	a.noteExists(highest)
+	if a.id == a.source || highest < a.cursor || highest <= a.advertPending {
+		return
+	}
+	a.advertPending = highest
+	h := highest
+	a.eng.Schedule(a.cfg.DetectionSlack, func(now sim.Time) {
+		a.detectThrough(now, h)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+// Package lms implements a faithful-in-spirit model of the Light-weight
+// Multicast Services protocol (Papadopoulos, Parulkar, Varghese,
+// INFOCOM 1998) — the router-assisted reliable multicast baseline the
+// CESRM paper compares against in §3.3 and §5.
+//
+// In LMS every router on the multicast tree maintains a *replier link*:
+// one downstream interface leading to the designated replier of its
+// subtree. A receiver detecting a loss unicasts a NAK upstream; the
+// first router whose replier does not lie in the NAK's subtree is the
+// *turning point* — it forwards the NAK down its replier link. The
+// replier retransmits by unicasting the packet to the turning point,
+// which subcasts it into the NAK's origin subtree only. Recovery is
+// thus localized, at the price of per-router replier state: when a
+// designated replier leaves or crashes, recovery in its region stalls
+// until the routers' replier state is refreshed — exactly the fragility
+// CESRM's §3.3 argues its stateless, cache-driven scheme avoids.
+//
+// The Fabric type models the routers' collective replier state; agents
+// consult it the way packets would be steered in a real deployment. All
+// traffic flows through netsim, so link-crossing costs are accounted
+// identically to the SRM/CESRM runs.
+package lms
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// Fabric is the routers' replier state: for every router, the child
+// link leading toward its designated replier. It also models the
+// staleness window of that state — crashes become visible to routing
+// only after RefreshDelay.
+type Fabric struct {
+	tree *topology.Tree
+	eng  *sim.Engine
+	// replierLink maps each internal node to the child on its replier
+	// link. The replier of a router's subtree is found by following
+	// replier links to a leaf.
+	replierLink map[topology.NodeID]topology.NodeID
+	// source answers NAKs that escalate past the root.
+	source topology.NodeID
+	// refreshDelay is how long crashed-replier information takes to
+	// propagate into router state.
+	refreshDelay time.Duration
+	// down marks hosts the fabric currently routes around (post-refresh).
+	down map[topology.NodeID]bool
+}
+
+// NewFabric designates repliers for every router: the first receiver
+// (lowest node ID) in each subtree, reached by preferring the child
+// whose subtree contains it. refreshDelay models how long router
+// replier state stays stale after a crash is reported.
+func NewFabric(eng *sim.Engine, tree *topology.Tree, refreshDelay time.Duration) *Fabric {
+	f := &Fabric{
+		tree:         tree,
+		eng:          eng,
+		replierLink:  make(map[topology.NodeID]topology.NodeID),
+		source:       tree.Root(),
+		refreshDelay: refreshDelay,
+		down:         make(map[topology.NodeID]bool),
+	}
+	f.designate()
+	return f
+}
+
+// designate (re)builds every router's replier link, skipping hosts
+// currently marked down.
+func (f *Fabric) designate() {
+	for n := 0; n < f.tree.NumNodes(); n++ {
+		id := topology.NodeID(n)
+		if f.tree.IsLeaf(id) {
+			continue
+		}
+		f.replierLink[id] = f.pickReplierChild(id)
+	}
+}
+
+// pickReplierChild selects the child of router n leading to the live
+// receiver with the lowest ID, or None when the subtree has no live
+// receiver.
+func (f *Fabric) pickReplierChild(n topology.NodeID) topology.NodeID {
+	best := topology.None
+	bestRecv := topology.None
+	for _, c := range f.tree.Children(n) {
+		r := f.liveReceiverBelow(c)
+		if r == topology.None {
+			continue
+		}
+		if bestRecv == topology.None || r < bestRecv {
+			bestRecv = r
+			best = c
+		}
+	}
+	return best
+}
+
+func (f *Fabric) liveReceiverBelow(n topology.NodeID) topology.NodeID {
+	found := topology.None
+	for _, r := range f.tree.ReceiversBelow(n) {
+		if !f.down[r] && (found == topology.None || r < found) {
+			found = r
+		}
+	}
+	return found
+}
+
+// ReplierOf returns the designated replier of the subtree rooted at
+// router n: the leaf reached by following replier links. Returns None
+// when the subtree has no live replier.
+func (f *Fabric) ReplierOf(n topology.NodeID) topology.NodeID {
+	cur := n
+	for !f.tree.IsLeaf(cur) {
+		next, ok := f.replierLink[cur]
+		if !ok || next == topology.None {
+			return topology.None
+		}
+		cur = next
+	}
+	if f.down[cur] {
+		return topology.None
+	}
+	return cur
+}
+
+// Route resolves a NAK from requestor r exactly as the routers would
+// steer it: the NAK travels upstream; a router that receives it on a
+// link other than its replier link is the turning point and forwards it
+// down its replier link. A NAK that climbs the replier link all the way
+// (the requestor is in every ancestor's replier subtree — typically the
+// designated replier itself, which shares the loss) escalates to the
+// source. Route returns the turning-point router, the child of the
+// turning point on r's side (the reply's subcast target), and the
+// replier to address.
+func (f *Fabric) Route(r topology.NodeID) (turningPoint, originChild, replier topology.NodeID, err error) {
+	child := r
+	for n := f.tree.Parent(r); n != topology.None; n = f.tree.Parent(n) {
+		if rl := f.replierLink[n]; rl != topology.None && rl != child {
+			if rep := f.ReplierOf(n); rep != topology.None {
+				return n, child, rep, nil
+			}
+		}
+		if f.tree.Parent(n) == topology.None {
+			// n is the root and the NAK climbed its replier link:
+			// escalate to the source, subcasting back into the child
+			// subtree it came from.
+			if f.down[f.source] {
+				return topology.None, topology.None, topology.None,
+					fmt.Errorf("lms: no live replier for %d", r)
+			}
+			return n, child, f.source, nil
+		}
+		child = n
+	}
+	return topology.None, topology.None, topology.None,
+		fmt.Errorf("lms: %d has no parent (is it the source?)", r)
+}
+
+// ReportCrash tells the fabric that host n has failed. The routers only
+// route around it after the refresh delay, modelling LMS's stale
+// replier state (§3.3: "such updates may prolong and even inhibit
+// packet loss recovery").
+func (f *Fabric) ReportCrash(n topology.NodeID) {
+	f.eng.Schedule(f.refreshDelay, func(sim.Time) {
+		f.down[n] = true
+		f.designate()
+	})
+}
+
+// RefreshDelay returns the configured staleness window.
+func (f *Fabric) RefreshDelay() time.Duration { return f.refreshDelay }

@@ -1,0 +1,543 @@
+// Package netsim simulates a packet network over a static IP multicast
+// tree, following the evaluation setup of §4.3 of the paper: every link
+// has the same propagation delay and bandwidth, payload-carrying packets
+// (original transmissions and retransmissions) are 1 KB, control packets
+// (requests and session messages) are 0 KB, and transmission cost is
+// accounted as one unit per packet per link crossed.
+//
+// The network supports the three delivery primitives the protocols use:
+//
+//   - Multicast: IP-multicast flooding from any group member over the
+//     whole tree (§2, §3);
+//   - Unicast: point-to-point delivery along the tree path (CESRM's
+//     expedited requests, §3.2);
+//   - Subcast: delivery to the subtree below a router (the
+//     router-assisted variant, §3.3).
+//
+// Packet loss is injected through a caller-provided DropFunc, which the
+// experiment harness wires to the link-trace representation of §4.2.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// Class partitions packets for cost accounting.
+type Class int
+
+const (
+	// Payload marks 1 KB packets: original data and retransmissions.
+	Payload Class = iota
+	// Control marks 0 KB packets: requests, session messages, and
+	// expedited requests.
+	Control
+)
+
+// String returns the accounting class name.
+func (c Class) String() string {
+	switch c {
+	case Payload:
+		return "payload"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Mode is the delivery primitive a packet was sent with.
+type Mode int
+
+const (
+	// ModeMulticast floods the entire tree.
+	ModeMulticast Mode = iota
+	// ModeUnicast follows the tree path between two hosts.
+	ModeUnicast
+	// ModeSubcast floods only the subtree below a router.
+	ModeSubcast
+)
+
+// String returns the delivery-mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeMulticast:
+		return "multicast"
+	case ModeUnicast:
+		return "unicast"
+	case ModeSubcast:
+		return "subcast"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Packet is a message in flight. Msg carries the protocol-level payload;
+// netsim treats it as opaque.
+type Packet struct {
+	// ID is a unique per-network sequence assigned at send time.
+	ID uint64
+	// From is the host (or, for subcasts, router) that sent the packet.
+	From topology.NodeID
+	// To is the destination host for unicasts, None otherwise.
+	To topology.NodeID
+	// Class drives size and cost accounting.
+	Class Class
+	// Mode records the delivery primitive used.
+	Mode Mode
+	// Session marks group session messages, which are excluded from
+	// recovery-overhead accounting (the paper compares recovery traffic;
+	// both protocols exchange identical session streams).
+	Session bool
+	// Msg is the protocol message.
+	Msg any
+}
+
+// Host consumes packets delivered by the network.
+type Host interface {
+	// Deliver hands the host a packet at virtual time now. The packet is
+	// shared between all recipients of a multicast and must be treated
+	// as immutable.
+	Deliver(now sim.Time, p *Packet)
+}
+
+// DropFunc decides whether packet p is dropped when crossing the given
+// link. down reports the traversal direction: true when moving away from
+// the tree root. A nil DropFunc drops nothing.
+type DropFunc func(p *Packet, link topology.LinkID, down bool) bool
+
+// Config holds the physical parameters of the simulated network.
+type Config struct {
+	// LinkDelay is the one-way propagation delay of every link
+	// (the paper sweeps 10/20/30 ms and reports 20 ms).
+	LinkDelay time.Duration
+	// Bandwidth is the link capacity in bits per second (1.5 Mbps in the
+	// paper).
+	Bandwidth float64
+	// PayloadBytes is the size of payload-class packets (1 KB).
+	PayloadBytes int
+	// ControlBytes is the size of control-class packets (0 in the paper,
+	// so control packets experience propagation delay only).
+	ControlBytes int
+	// Queuing enables per-link FIFO serialization: a link transmits one
+	// packet at a time per direction. With the paper's parameters links
+	// run far below capacity, so the default (false) models each hop as
+	// an independent store-and-forward pipe.
+	Queuing bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation (§4.3) with its 20 ms link delay.
+func DefaultConfig() Config {
+	return Config{
+		LinkDelay:    20 * time.Millisecond,
+		Bandwidth:    1.5e6,
+		PayloadBytes: 1024,
+		ControlBytes: 0,
+	}
+}
+
+// CrossingCounts aggregates transmission cost in link-crossing units,
+// the metric of Figure 5 (right): one unit per packet per link crossed.
+// Session traffic is tallied separately so recovery overhead can be
+// compared between protocols that share an identical session stream.
+type CrossingCounts struct {
+	// PayloadMulticast counts multicast retransmission crossings.
+	PayloadMulticast uint64
+	// PayloadUnicast counts unicast payload crossings (unused by the
+	// basic protocols; the router-assisted variant unicasts replies to
+	// turning points).
+	PayloadUnicast uint64
+	// PayloadSubcast counts subcast retransmission crossings.
+	PayloadSubcast uint64
+	// ControlMulticast counts multicast control crossings (SRM requests,
+	// CESRM fallback requests).
+	ControlMulticast uint64
+	// ControlUnicast counts unicast control crossings (CESRM expedited
+	// requests).
+	ControlUnicast uint64
+	// Session counts session-message crossings (identical for SRM and
+	// CESRM; excluded from recovery overhead).
+	Session uint64
+	// Data counts original data dissemination crossings (identical for
+	// both protocols; excluded from recovery overhead).
+	Data uint64
+}
+
+// RecoveryTotal returns the total recovery overhead: everything except
+// original data dissemination and session traffic.
+func (c CrossingCounts) RecoveryTotal() uint64 {
+	return c.PayloadMulticast + c.PayloadUnicast + c.PayloadSubcast +
+		c.ControlMulticast + c.ControlUnicast
+}
+
+// Network simulates the tree. Construct with New.
+type Network struct {
+	eng  *sim.Engine
+	tree *topology.Tree
+	cfg  Config
+	drop DropFunc
+
+	hosts  map[topology.NodeID]Host
+	nextID uint64
+
+	// busyUntil tracks per-link, per-direction transmit availability when
+	// Queuing is enabled. Index 0 is downstream, 1 upstream.
+	busyUntil [2][]sim.Time
+
+	// jitterRNG and maxJitter add a uniform random extra delay to each
+	// delivery, reordering packets that are spaced more closely than the
+	// jitter magnitude. See EnableJitter.
+	jitterRNG *sim.RNG
+	maxJitter time.Duration
+
+	counts CrossingCounts
+}
+
+// New builds a network over tree using engine eng.
+func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
+	n := &Network{
+		eng:   eng,
+		tree:  tree,
+		cfg:   cfg,
+		hosts: make(map[topology.NodeID]Host),
+	}
+	if cfg.Queuing {
+		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
+		n.busyUntil[1] = make([]sim.Time, tree.NumNodes())
+	}
+	return n
+}
+
+// Tree returns the underlying topology.
+func (n *Network) Tree() *topology.Tree { return n.tree }
+
+// Config returns the network's physical parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Counts returns a snapshot of the crossing counters.
+func (n *Network) Counts() CrossingCounts { return n.counts }
+
+// AttachHost registers h as the protocol agent at node id. Only
+// registered nodes receive deliveries; routers forward silently.
+func (n *Network) AttachHost(id topology.NodeID, h Host) {
+	if h == nil {
+		panic("netsim: AttachHost with nil host")
+	}
+	n.hosts[id] = h
+}
+
+// SetDropFunc installs the loss-injection hook.
+func (n *Network) SetDropFunc(fn DropFunc) { n.drop = fn }
+
+// EnableJitter adds an independent uniform random delay in [0, max) to
+// every end-to-end delivery, modelling the transient reordering that
+// motivates CESRM's REORDER-DELAY (§3.2): packets spaced more closely
+// than the jitter magnitude can arrive out of order. Jitter applies to
+// the fast (non-queuing) delivery path; the queuing path models strict
+// per-link FIFO and stays jitter-free. A nil rng or non-positive max
+// disables jitter.
+func (n *Network) EnableJitter(rng *sim.RNG, max time.Duration) {
+	if rng == nil || max <= 0 {
+		n.jitterRNG = nil
+		n.maxJitter = 0
+		return
+	}
+	n.jitterRNG = rng
+	n.maxJitter = max
+}
+
+// jitter draws one delivery's extra delay.
+func (n *Network) jitter() time.Duration {
+	if n.jitterRNG == nil {
+		return 0
+	}
+	return n.jitterRNG.UniformDuration(0, n.maxJitter)
+}
+
+// packetBytes returns the wire size of p.
+func (n *Network) packetBytes(p *Packet) int {
+	if p.Class == Payload {
+		return n.cfg.PayloadBytes
+	}
+	return n.cfg.ControlBytes
+}
+
+// txTime is the serialization delay of p on one link.
+func (n *Network) txTime(p *Packet) time.Duration {
+	bytes := n.packetBytes(p)
+	if bytes == 0 || n.cfg.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes*8) / n.cfg.Bandwidth * float64(time.Second))
+}
+
+// Distance returns the control-plane one-way latency between two nodes:
+// hop count times link propagation delay. This is what session-message
+// timestamp exchange measures, since control packets serialize in zero
+// time.
+func (n *Network) Distance(a, b topology.NodeID) time.Duration {
+	return time.Duration(n.tree.HopCount(a, b)) * n.cfg.LinkDelay
+}
+
+// RTT returns the round-trip control-plane latency between two nodes.
+func (n *Network) RTT(a, b topology.NodeID) time.Duration {
+	return 2 * n.Distance(a, b)
+}
+
+// countCrossing records one link crossing for p.
+func (n *Network) countCrossing(p *Packet) {
+	switch {
+	case p.Session:
+		n.counts.Session++
+	case p.Mode == ModeMulticast && p.Class == Payload && p.Msg != nil && isData(p):
+		n.counts.Data++
+	case p.Mode == ModeMulticast && p.Class == Payload:
+		n.counts.PayloadMulticast++
+	case p.Mode == ModeSubcast && p.Class == Payload:
+		n.counts.PayloadSubcast++
+	case p.Mode == ModeUnicast && p.Class == Payload:
+		n.counts.PayloadUnicast++
+	case p.Mode == ModeMulticast:
+		n.counts.ControlMulticast++
+	case p.Mode == ModeSubcast:
+		n.counts.ControlMulticast++
+	default:
+		n.counts.ControlUnicast++
+	}
+}
+
+// DataTagger lets the harness mark which protocol messages are original
+// data transmissions, so netsim can segregate their crossing cost
+// without depending on protocol packages.
+type DataTagger interface{ IsOriginalData() bool }
+
+func isData(p *Packet) bool {
+	t, ok := p.Msg.(DataTagger)
+	return ok && t.IsOriginalData()
+}
+
+// Multicast sends p from host `from` to the entire group by flooding the
+// tree. Every tree link is crossed at most once; links below a drop are
+// not crossed at all. Delivery is scheduled for each registered host the
+// flood reaches; the sender itself is not re-delivered to.
+func (n *Network) Multicast(from topology.NodeID, p *Packet) {
+	p.ID = n.nextID
+	n.nextID++
+	p.From = from
+	p.To = topology.None
+	p.Mode = ModeMulticast
+	n.flood(from, p, false)
+}
+
+// Subcast sends p downward from router root to the receivers in its
+// subtree (§3.3). The sender does not receive its own subcast.
+func (n *Network) Subcast(root topology.NodeID, p *Packet) {
+	p.ID = n.nextID
+	n.nextID++
+	p.To = topology.None
+	p.Mode = ModeSubcast
+	n.flood(root, p, true)
+}
+
+// flood walks the tree outward from origin. downOnly restricts the walk
+// to descendants (subcast). Without queuing this performs the whole
+// reachability walk immediately and schedules one delivery event per
+// reached host; with queuing it simulates each hop as its own event.
+func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
+	if n.cfg.Queuing {
+		n.floodHop(origin, origin, topology.None, p, downOnly, n.eng.Now())
+		return
+	}
+	tx := n.txTime(p)
+	perHop := n.cfg.LinkDelay + tx
+	type visit struct {
+		node topology.NodeID
+		hops int
+	}
+	stack := []visit{{origin, 0}}
+	visited := map[topology.NodeID]bool{origin: true}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v.node != origin {
+			if h, ok := n.hosts[v.node]; ok {
+				pkt, host := p, h
+				n.eng.Schedule(time.Duration(v.hops)*perHop+n.jitter(), func(now sim.Time) {
+					host.Deliver(now, pkt)
+				})
+			}
+		}
+		for _, next := range n.neighbors(v.node, downOnly) {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			link, down := n.linkBetween(v.node, next)
+			n.countCrossing(p)
+			if n.drop != nil && n.drop(p, link, down) {
+				continue
+			}
+			stack = append(stack, visit{next, v.hops + 1})
+		}
+	}
+}
+
+// floodHop is the event-per-hop variant used when Queuing is enabled.
+func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, downOnly bool, at sim.Time) {
+	if node != origin {
+		if h, ok := n.hosts[node]; ok {
+			h.Deliver(at, p)
+		}
+	}
+	for _, next := range n.neighbors(node, downOnly) {
+		if next == cameFrom {
+			continue
+		}
+		link, down := n.linkBetween(node, next)
+		n.countCrossing(p)
+		if n.drop != nil && n.drop(p, link, down) {
+			continue
+		}
+		arrive := n.hopArrival(link, down, at, p)
+		next := next
+		nodeCopy := node
+		n.eng.ScheduleAt(arrive, func(now sim.Time) {
+			n.floodHop(origin, next, nodeCopy, p, downOnly, now)
+		})
+	}
+}
+
+// Unicast sends p from host `from` to host `to` along the tree path.
+func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
+	p.ID = n.nextID
+	n.nextID++
+	p.From = from
+	p.To = to
+	p.Mode = ModeUnicast
+	links := n.tree.PathLinks(from, to)
+	tx := n.txTime(p)
+	cur := from
+	at := n.eng.Now()
+	for _, link := range links {
+		var next topology.NodeID
+		var down bool
+		if link == cur {
+			// Climbing: the link's downstream endpoint is where we are.
+			next = n.tree.Parent(cur)
+			down = false
+		} else {
+			next = link
+			down = true
+		}
+		n.countCrossing(p)
+		if n.drop != nil && n.drop(p, link, down) {
+			return
+		}
+		if n.cfg.Queuing {
+			at = n.hopArrival(link, down, at, p)
+		} else {
+			at = at.Add(n.cfg.LinkDelay + tx)
+		}
+		cur = next
+	}
+	if h, ok := n.hosts[to]; ok && to != from {
+		pkt, host := p, h
+		n.eng.ScheduleAt(at.Add(n.jitter()), func(now sim.Time) { host.Deliver(now, pkt) })
+	}
+}
+
+// UnicastThenSubcast implements the router-assisted expedited reply of
+// §3.3: the packet travels point-to-point from host `from` to the
+// turning-point router `via`, which then subcasts it downstream to its
+// subtree. Crossing costs accrue for the unicast leg and the subcast
+// leg; the packet's final Mode is ModeSubcast.
+func (n *Network) UnicastThenSubcast(from, via topology.NodeID, p *Packet) {
+	p.ID = n.nextID
+	n.nextID++
+	p.From = from
+	p.To = topology.None
+
+	// Walk the unicast leg accumulating delay and cost, as in Unicast,
+	// but classified as unicast crossings.
+	p.Mode = ModeUnicast
+	links := n.tree.PathLinks(from, via)
+	tx := n.txTime(p)
+	cur := from
+	at := n.eng.Now()
+	for _, link := range links {
+		var down bool
+		var next topology.NodeID
+		if link == cur {
+			next = n.tree.Parent(cur)
+			down = false
+		} else {
+			next = link
+			down = true
+		}
+		n.countCrossing(p)
+		if n.drop != nil && n.drop(p, link, down) {
+			return
+		}
+		if n.cfg.Queuing {
+			at = n.hopArrival(link, down, at, p)
+		} else {
+			at = at.Add(n.cfg.LinkDelay + tx)
+		}
+		cur = next
+	}
+	// Subcast downstream once the packet reaches the turning point. When
+	// the subcast head is itself an attached host (the origin subtree is
+	// a single leaf), the packet is delivered to it directly.
+	n.eng.ScheduleAt(at, func(now sim.Time) {
+		p.Mode = ModeSubcast
+		if h, ok := n.hosts[via]; ok && via != from {
+			h.Deliver(now, p)
+		}
+		n.flood(via, p, true)
+	})
+}
+
+// hopArrival computes when p finishes crossing link in the given
+// direction starting no earlier than at, honoring FIFO serialization.
+func (n *Network) hopArrival(link topology.LinkID, down bool, at sim.Time, p *Packet) sim.Time {
+	dir := 1
+	if down {
+		dir = 0
+	}
+	start := at
+	if b := n.busyUntil[dir][link]; b.After(start) {
+		start = b
+	}
+	finish := start.Add(n.txTime(p))
+	n.busyUntil[dir][link] = finish
+	return finish.Add(n.cfg.LinkDelay)
+}
+
+// neighbors lists the nodes adjacent to u, optionally restricted to
+// children.
+func (n *Network) neighbors(u topology.NodeID, downOnly bool) []topology.NodeID {
+	ch := n.tree.Children(u)
+	if downOnly || n.tree.Parent(u) == topology.None {
+		return ch
+	}
+	out := make([]topology.NodeID, 0, len(ch)+1)
+	out = append(out, ch...)
+	out = append(out, n.tree.Parent(u))
+	return out
+}
+
+// linkBetween identifies the link connecting adjacent nodes u and v and
+// the traversal direction (down = away from root) when moving u -> v.
+func (n *Network) linkBetween(u, v topology.NodeID) (topology.LinkID, bool) {
+	if n.tree.Parent(v) == u {
+		return v, true
+	}
+	if n.tree.Parent(u) == v {
+		return u, false
+	}
+	panic(fmt.Sprintf("netsim: nodes %d and %d are not adjacent", u, v))
+}

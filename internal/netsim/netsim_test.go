@@ -1,0 +1,450 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+type delivery struct {
+	at  sim.Time
+	pkt *Packet
+}
+
+type recorder struct {
+	got []delivery
+}
+
+func (r *recorder) Deliver(now sim.Time, p *Packet) {
+	r.got = append(r.got, delivery{now, p})
+}
+
+//	   0 (source)
+//	  / \
+//	 1   2
+//	/ \   \
+//
+// 3   4   5
+//
+//	|
+//	6
+func testTree(t *testing.T) *topology.Tree {
+	t.Helper()
+	return topology.MustNew([]topology.NodeID{topology.None, 0, 0, 1, 1, 2, 5})
+}
+
+type dataMsg struct{}
+
+func (dataMsg) IsOriginalData() bool { return true }
+
+type reqMsg struct{}
+
+func setup(t *testing.T, cfg Config) (*sim.Engine, *Network, map[topology.NodeID]*recorder) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tree := testTree(t)
+	net := New(eng, tree, cfg)
+	recs := make(map[topology.NodeID]*recorder)
+	for _, id := range []topology.NodeID{0, 3, 4, 6} {
+		r := &recorder{}
+		recs[id] = r
+		net.AttachHost(id, r)
+	}
+	return eng, net, recs
+}
+
+func TestMulticastReachesAllHostsWithHopDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+
+	// Control packets are 0 bytes: delay is pure propagation.
+	wantHops := map[topology.NodeID]int{3: 2, 4: 2, 6: 3}
+	for id, hops := range wantHops {
+		r := recs[id]
+		if len(r.got) != 1 {
+			t.Fatalf("host %d deliveries = %d, want 1", id, len(r.got))
+		}
+		want := sim.Time(time.Duration(hops) * cfg.LinkDelay)
+		if r.got[0].at != want {
+			t.Errorf("host %d delivered at %v, want %v", id, r.got[0].at, want)
+		}
+	}
+	if len(recs[0].got) != 0 {
+		t.Error("multicast delivered back to sender")
+	}
+}
+
+func TestMulticastFromReceiverReachesEveryoneElse(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.Multicast(3, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	wantHops := map[topology.NodeID]int{0: 2, 4: 2, 6: 5}
+	for id, hops := range wantHops {
+		r := recs[id]
+		if len(r.got) != 1 {
+			t.Fatalf("host %d deliveries = %d, want 1", id, len(r.got))
+		}
+		want := sim.Time(time.Duration(hops) * cfg.LinkDelay)
+		if r.got[0].at != want {
+			t.Errorf("host %d delivered at %v, want %v", id, r.got[0].at, want)
+		}
+	}
+	if len(recs[3].got) != 0 {
+		t.Error("sender received its own multicast")
+	}
+}
+
+func TestPayloadAddsSerializationDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	tx := time.Duration(float64(cfg.PayloadBytes*8) / cfg.Bandwidth * float64(time.Second))
+	want := sim.Time(2 * (cfg.LinkDelay + tx))
+	if got := recs[3].got[0].at; got != want {
+		t.Fatalf("payload delivery at %v, want %v", got, want)
+	}
+}
+
+func TestMulticastCrossesEveryLinkOnce(t *testing.T) {
+	eng, net, _ := setup(t, DefaultConfig())
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if got := net.Counts().ControlMulticast; got != 6 {
+		t.Fatalf("control crossings = %d, want 6 (one per link)", got)
+	}
+	// Multicast from a receiver also crosses every link exactly once.
+	net.Multicast(6, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if got := net.Counts().ControlMulticast; got != 12 {
+		t.Fatalf("control crossings = %d, want 12", got)
+	}
+}
+
+func TestDropPrunesSubtree(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
+		return link == 1 && down
+	})
+	net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	if len(recs[3].got) != 0 || len(recs[4].got) != 0 {
+		t.Fatal("hosts below dropped link received the packet")
+	}
+	if len(recs[6].got) != 1 {
+		t.Fatal("host outside dropped subtree missed the packet")
+	}
+	// Crossings: link 1 is crossed (and dropped at far end); links 3,4
+	// below it are not crossed. Links 2,5,6 are crossed. Total 4.
+	if got := net.Counts().Data; got != 4 {
+		t.Fatalf("data crossings = %d, want 4", got)
+	}
+}
+
+func TestUnicastPathAndDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.Unicast(3, 6, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 1 {
+		t.Fatal("unicast not delivered")
+	}
+	want := sim.Time(5 * cfg.LinkDelay) // 3->1->0->2->5->6
+	if recs[6].got[0].at != want {
+		t.Fatalf("unicast delivered at %v, want %v", recs[6].got[0].at, want)
+	}
+	if got := net.Counts().ControlUnicast; got != 5 {
+		t.Fatalf("unicast crossings = %d, want 5", got)
+	}
+	// Nobody else hears a unicast.
+	if len(recs[0].got)+len(recs[4].got) != 0 {
+		t.Fatal("unicast leaked to other hosts")
+	}
+}
+
+func TestUnicastDroppedMidPath(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
+		return link == 2
+	})
+	net.Unicast(3, 6, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 0 {
+		t.Fatal("dropped unicast was delivered")
+	}
+	// Crossings stop at the dropped link: 3->1 (link 3), 1->0 (link 1),
+	// 0->2 (link 2, dropped) = 3 crossings.
+	if got := net.Counts().ControlUnicast; got != 3 {
+		t.Fatalf("unicast crossings = %d, want 3", got)
+	}
+}
+
+func TestSubcastReachesOnlySubtree(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.Subcast(2, &Packet{Class: Payload, From: 4, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 1 {
+		t.Fatal("subcast missed receiver in subtree")
+	}
+	if len(recs[3].got)+len(recs[4].got)+len(recs[0].got) != 0 {
+		t.Fatal("subcast leaked outside subtree")
+	}
+	if got := net.Counts().PayloadSubcast; got != 2 {
+		t.Fatalf("subcast crossings = %d, want 2 (links 5,6)", got)
+	}
+}
+
+func TestSessionCountsSeparately(t *testing.T) {
+	eng, net, _ := setup(t, DefaultConfig())
+	net.Multicast(0, &Packet{Class: Control, Session: true, Msg: reqMsg{}})
+	eng.Run()
+	c := net.Counts()
+	if c.Session != 6 || c.ControlMulticast != 0 {
+		t.Fatalf("session crossings = %+v", c)
+	}
+	if c.RecoveryTotal() != 0 {
+		t.Fatalf("session counted as recovery overhead: %d", c.RecoveryTotal())
+	}
+}
+
+func TestDataCountsSeparately(t *testing.T) {
+	eng, net, _ := setup(t, DefaultConfig())
+	net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	c := net.Counts()
+	if c.Data != 6 || c.PayloadMulticast != 0 {
+		t.Fatalf("data crossings = %+v", c)
+	}
+	// A retransmission (payload, non-data) counts as recovery overhead.
+	net.Multicast(4, &Packet{Class: Payload, Msg: reqMsg{}})
+	eng.Run()
+	c = net.Counts()
+	if c.PayloadMulticast != 6 || c.RecoveryTotal() != 6 {
+		t.Fatalf("retransmission accounting wrong: %+v", c)
+	}
+}
+
+func TestQueuingSerializesPayloads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Queuing = true
+	eng, net, recs := setup(t, cfg)
+	// Two payloads from the source back to back: the second must wait for
+	// the first to finish serializing on each shared link.
+	net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+	net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	r := recs[3]
+	if len(r.got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(r.got))
+	}
+	tx := time.Duration(float64(cfg.PayloadBytes*8) / cfg.Bandwidth * float64(time.Second))
+	first := sim.Time(2 * (cfg.LinkDelay + tx))
+	if r.got[0].at != first {
+		t.Fatalf("first delivery at %v, want %v", r.got[0].at, first)
+	}
+	// Second packet starts on link 1 only after the first clears it.
+	second := first.Add(tx)
+	if r.got[1].at != second {
+		t.Fatalf("second delivery at %v, want %v", r.got[1].at, second)
+	}
+}
+
+func TestQueuingFloodMatchesFastPathForSinglePacket(t *testing.T) {
+	for _, queuing := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Queuing = queuing
+		eng, net, recs := setup(t, cfg)
+		net.Multicast(0, &Packet{Class: Payload, Msg: dataMsg{}})
+		eng.Run()
+		tx := time.Duration(float64(cfg.PayloadBytes*8) / cfg.Bandwidth * float64(time.Second))
+		want := sim.Time(3 * (cfg.LinkDelay + tx))
+		if got := recs[6].got[0].at; got != want {
+			t.Errorf("queuing=%v: delivery at %v, want %v", queuing, got, want)
+		}
+	}
+}
+
+func TestDistanceAndRTT(t *testing.T) {
+	_, net, _ := setup(t, DefaultConfig())
+	if d := net.Distance(0, 6); d != 60*time.Millisecond {
+		t.Fatalf("Distance(0,6) = %v, want 60ms", d)
+	}
+	if r := net.RTT(3, 4); r != 80*time.Millisecond {
+		t.Fatalf("RTT(3,4) = %v, want 80ms", r)
+	}
+}
+
+func TestPacketIDsAreUnique(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	}
+	eng.Run()
+	seen := map[uint64]bool{}
+	for _, d := range recs[3].got {
+		if seen[d.pkt.ID] {
+			t.Fatal("duplicate packet ID")
+		}
+		seen[d.pkt.ID] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("got %d distinct packets, want 5", len(seen))
+	}
+}
+
+func TestUnicastToSelfIsNoOp(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	net.Unicast(3, 3, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[3].got) != 0 {
+		t.Fatal("self-unicast delivered")
+	}
+	if net.Counts().ControlUnicast != 0 {
+		t.Fatal("self-unicast counted crossings")
+	}
+}
+
+func TestJitterReordersCloseDeliveries(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	net.EnableJitter(sim.NewRNG(7), 200*time.Millisecond)
+	// Twenty control packets 1ms apart: with 200ms jitter, arrival order
+	// at receiver 6 must differ from send order.
+	for i := 0; i < 20; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*time.Millisecond, func(sim.Time) {
+			net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+			_ = i
+		})
+	}
+	eng.Run()
+	r := recs[6]
+	if len(r.got) != 20 {
+		t.Fatalf("deliveries = %d, want 20", len(r.got))
+	}
+	inOrder := true
+	for i := 1; i < len(r.got); i++ {
+		if r.got[i].pkt.ID < r.got[i-1].pkt.ID {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("jittered deliveries arrived perfectly in order")
+	}
+}
+
+func TestJitterDisabled(t *testing.T) {
+	_, net, _ := setup(t, DefaultConfig())
+	net.EnableJitter(nil, time.Second)
+	if d := net.jitter(); d != 0 {
+		t.Fatalf("nil-rng jitter = %v", d)
+	}
+	net.EnableJitter(sim.NewRNG(1), 0)
+	if d := net.jitter(); d != 0 {
+		t.Fatalf("zero-max jitter = %v", d)
+	}
+}
+
+func TestAttachNilHostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AttachHost(nil) did not panic")
+		}
+	}()
+	_, net, _ := setup(t, DefaultConfig())
+	net.AttachHost(3, nil)
+}
+
+func TestClassAndModeStrings(t *testing.T) {
+	if Payload.String() != "payload" || Control.String() != "control" {
+		t.Fatal("Class.String wrong")
+	}
+	if ModeMulticast.String() != "multicast" || ModeUnicast.String() != "unicast" || ModeSubcast.String() != "subcast" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Class(9).String() == "" || Mode(9).String() == "" {
+		t.Fatal("unknown enum should still format")
+	}
+}
+
+func BenchmarkMulticastFlood(b *testing.B) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
+	net := New(eng, tree, DefaultConfig())
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, &recorder{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Multicast(tree.Root(), &Packet{Class: Payload, Msg: dataMsg{}})
+		eng.Run()
+	}
+}
+
+func BenchmarkUnicastPath(b *testing.B) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
+	net := New(eng, tree, DefaultConfig())
+	rs := tree.Receivers()
+	net.AttachHost(rs[0], &recorder{})
+	net.AttachHost(rs[len(rs)-1], &recorder{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Unicast(rs[0], rs[len(rs)-1], &Packet{Class: Control, Msg: reqMsg{}})
+		eng.Run()
+	}
+}
+
+func TestUnicastThenSubcast(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	// Reply travels 4 -> 1 (unicast leg, links 4 then climbing...) and
+	// subcasts below router 2: receiver 6 gets it, 3 and 0 do not.
+	net.UnicastThenSubcast(4, 2, &Packet{Class: Payload, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 1 {
+		t.Fatal("subcast target missed")
+	}
+	if len(recs[3].got)+len(recs[0].got)+len(recs[4].got) != 0 {
+		t.Fatal("unicast+subcast leaked outside the target subtree")
+	}
+	c := net.Counts()
+	// Unicast leg 4->1->0->2 = 3 crossings; subcast below 2 = links 5,6.
+	if c.PayloadUnicast != 3 || c.PayloadSubcast != 2 {
+		t.Fatalf("crossings = %+v, want unicast 3 subcast 2", c)
+	}
+}
+
+func TestUnicastThenSubcastToLeafDeliversDirectly(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	// The "subtree" is the single leaf 4: the packet must be delivered
+	// to the leaf host at the end of the unicast leg.
+	net.UnicastThenSubcast(3, 4, &Packet{Class: Payload, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[4].got) != 1 {
+		t.Fatal("leaf-targeted unicast+subcast not delivered")
+	}
+	c := net.Counts()
+	if c.PayloadUnicast != 2 || c.PayloadSubcast != 0 {
+		t.Fatalf("crossings = %+v, want unicast 2 subcast 0", c)
+	}
+}
+
+func TestUnicastThenSubcastDroppedOnLeg(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	net.SetDropFunc(func(p *Packet, l topology.LinkID, down bool) bool {
+		return l == 2 // sever the path into subtree 2
+	})
+	net.UnicastThenSubcast(4, 2, &Packet{Class: Payload, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 0 {
+		t.Fatal("dropped unicast leg still delivered")
+	}
+}

@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual clock.
+//
+// The engine is intentionally single-threaded: all events execute on the
+// caller's goroutine in strict virtual-time order, with FIFO ordering for
+// events scheduled at the same instant. Determinism is a hard requirement
+// for the trace-driven protocol experiments built on top of this package,
+// so no wall-clock time or global randomness is consulted anywhere.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, measured as an offset from the
+// start of the simulation. The zero Time is the simulation start.
+type Time time.Duration
+
+// Duration is re-exported so that callers of this package can express
+// virtual-time arithmetic without importing package time everywhere.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating-point number of seconds since
+// the simulation start.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats the instant using time.Duration notation.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Handlers run in virtual-time order.
+type Event func(now Time)
+
+// scheduledEvent is an entry in the event queue.
+type scheduledEvent struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   Event
+	dead bool // cancelled events stay in the heap but are skipped
+	pos  int  // heap index, maintained by eventQueue
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].pos = i
+	q[j].pos = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.pos = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.pos = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine drives a single simulation run. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+	// executed counts events that have been dispatched, for diagnostics
+	// and run-away detection in tests.
+	executed uint64
+}
+
+// NewEngine returns an engine positioned at virtual time zero with an
+// empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time. During event execution this is
+// the instant the executing event was scheduled for.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of live (non-cancelled) events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer identifies a scheduled event and allows cancelling it before it
+// fires. The zero Timer is invalid.
+type Timer struct {
+	ev *scheduledEvent
+}
+
+// Active reports whether the timer is scheduled and has neither fired
+// nor been cancelled.
+func (t Timer) Active() bool { return t.ev != nil && !t.ev.dead && t.ev.pos >= 0 }
+
+// At returns the instant the timer is scheduled to fire. It is only
+// meaningful while the timer is Active.
+func (t Timer) At() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// ScheduleAt registers fn to run at the given instant. Scheduling in the
+// past (before Now) panics: it would silently reorder causality, which is
+// always a bug in the protocol layers above.
+func (e *Engine) ScheduleAt(at Time, fn Event) Timer {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", at, e.now))
+	}
+	ev := &scheduledEvent{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev}
+}
+
+// Schedule registers fn to run after delay. Negative delays are clamped
+// to zero so that jitter arithmetic in callers cannot travel backwards
+// in time.
+func (e *Engine) Schedule(delay Duration, fn Event) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// Cancel deactivates the timer. Cancelling an already-fired or
+// already-cancelled timer is a no-op, so callers can cancel defensively.
+func (e *Engine) Cancel(t Timer) {
+	if t.ev == nil || t.ev.dead {
+		return
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+}
+
+// Step executes the next pending event, advancing the clock to its
+// instant. It returns false when the queue is exhausted or the engine
+// has been stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*scheduledEvent)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.dead = true
+		e.executed++
+		fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the final virtual time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with instants not after the deadline. Events
+// scheduled later remain queued. The clock finishes at the deadline if
+// the queue was not exhausted earlier.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop halts the run loop after the currently executing event returns.
+// Remaining events are left in the queue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// peek reports the instant of the next live event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.dead {
+			return ev.at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}

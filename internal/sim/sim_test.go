@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func(Time) { got = append(got, 3) })
+	e.Schedule(1*time.Second, func(Time) { got = append(got, 1) })
+	e.Schedule(2*time.Second, func(Time) { got = append(got, 2) })
+	end := e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if end != Time(3*time.Second) {
+		t.Fatalf("final time %v, want 3s", end)
+	}
+}
+
+func TestSameInstantIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(time.Second, func(now Time) {
+		times = append(times, now)
+		e.Schedule(time.Second, func(now Time) {
+			times = append(times, now)
+		})
+	})
+	e.Run()
+	if len(times) != 2 {
+		t.Fatalf("executed %d events, want 2", len(times))
+	}
+	if times[0] != Time(time.Second) || times[1] != Time(2*time.Second) {
+		t.Fatalf("times = %v, want [1s 2s]", times)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(time.Second, func(Time) { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active after scheduling")
+	}
+	e.Cancel(tm)
+	if tm.Active() {
+		t.Fatal("timer should be inactive after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(time.Second, func(Time) {})
+	e.Cancel(tm)
+	e.Cancel(tm) // must not panic
+	e.Cancel(Timer{})
+	e.Run()
+}
+
+func TestTimerInactiveAfterFiring(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(time.Second, func(Time) {})
+	e.Run()
+	if tm.Active() {
+		t.Fatal("timer still active after firing")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2*time.Second, func(now Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(Time(time.Second), func(Time) {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var ran bool
+	e.Schedule(time.Second, func(now Time) {
+		e.Schedule(-5*time.Second, func(inner Time) {
+			ran = true
+			if inner != now {
+				t.Errorf("clamped event at %v, want %v", inner, now)
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("clamped event never ran")
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func(Time) { fired = append(fired, 1) })
+	e.Schedule(5*time.Second, func(Time) { fired = append(fired, 5) })
+	end := e.RunUntil(Time(3 * time.Second))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if end != Time(3*time.Second) {
+		t.Fatalf("clock at %v, want deadline 3s", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event did not run after deadline: %v", fired)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func(Time) {})
+	}
+	tm := e.Schedule(time.Second, func(Time) {})
+	e.Cancel(tm)
+	e.Run()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7 (cancelled events excluded)", e.Executed())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(2 * time.Second)
+	b := a.Add(500 * time.Millisecond)
+	if b != Time(2500*time.Millisecond) {
+		t.Fatalf("Add: got %v", b)
+	}
+	if b.Sub(a) != 500*time.Millisecond {
+		t.Fatalf("Sub: got %v", b.Sub(a))
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if a.Seconds() != 2 {
+		t.Fatalf("Seconds: got %v", a.Seconds())
+	}
+	if a.String() != "2s" {
+		t.Fatalf("String: got %q", a.String())
+	}
+}
+
+func TestPropertyEventOrderMatchesSortedSchedule(t *testing.T) {
+	// Property: for any set of delays, the engine dispatches events in
+	// non-decreasing time order and never loses an event.
+	f := func(raw []uint32) bool {
+		e := NewEngine()
+		for _, r := range raw {
+			d := time.Duration(r%1000) * time.Millisecond
+			e.Schedule(d, func(now Time) {
+				_ = now
+			})
+		}
+		var last Time
+		steps := 0
+		for e.Step() {
+			if e.Now().Before(last) {
+				return false
+			}
+			last = e.Now()
+			steps++
+		}
+		return steps == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	c1 := a.Split()
+	c2 := a.Split()
+	// Distinct derived streams should not be identical.
+	same := true
+	for i := 0; i < 16; i++ {
+		if c1.Int63() != c2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Split produced identical child streams")
+	}
+}
+
+func TestUniformDurationBounds(t *testing.T) {
+	g := NewRNG(1)
+	lo, hi := 100*time.Millisecond, 300*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := g.UniformDuration(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("UniformDuration out of bounds: %v", d)
+		}
+	}
+}
+
+func TestUniformDurationDegenerate(t *testing.T) {
+	g := NewRNG(1)
+	if d := g.UniformDuration(time.Second, time.Second); d != time.Second {
+		t.Fatalf("degenerate interval: got %v, want 1s", d)
+	}
+	if d := g.UniformDuration(time.Second, 0); d != time.Second {
+		t.Fatalf("inverted interval: got %v, want lo", d)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(time.Second, 2.5); got != 2500*time.Millisecond {
+		t.Fatalf("Scale(1s, 2.5) = %v", got)
+	}
+	if got := Scale(time.Second, 0); got != 0 {
+		t.Fatalf("Scale(1s, 0) = %v", got)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func(Time) {})
+		}
+		e.Run()
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	t1 := e.Schedule(time.Second, func(Time) {})
+	e.Schedule(2*time.Second, func(Time) {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(t1)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+func TestTimerAtReportsInstant(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(3*time.Second, func(Time) {})
+	if tm.At() != Time(3*time.Second) {
+		t.Fatalf("At = %v", tm.At())
+	}
+	if (Timer{}).At() != 0 {
+		t.Fatal("zero timer At should be 0")
+	}
+}
+
+func TestRunUntilAfterStopIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func(Time) { e.Stop() })
+	e.Schedule(2*time.Second, func(Time) { t.Fatal("ran after stop") })
+	e.Run()
+	e.RunUntil(Time(10 * time.Second))
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the post-stop event still queued", e.Pending())
+	}
+}

@@ -1,0 +1,712 @@
+package srm
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// lossRecord tracks one lost packet's recovery lifecycle on one host.
+type lossRecord struct {
+	detectedAt  sim.Time
+	recoveredAt sim.Time
+	recovered   bool
+	info        RecoveryInfo
+
+	// k is the back-off exponent for the next (re)schedule: the initial
+	// request is drawn from the base interval (factor 2^0), and every
+	// transmission or suppression back-off doubles it.
+	k            int
+	timer        sim.Timer
+	abstainUntil sim.Time
+
+	// foreignRequests counts other hosts' requests observed for this
+	// loss and firstRequestAt the instant of the first request event
+	// (own or foreign) — inputs to adaptive timer adjustment.
+	foreignRequests int
+	firstRequestAt  sim.Time
+}
+
+// replyState tracks reply scheduling and abstinence for one packet on a
+// host that has the packet.
+type replyState struct {
+	timer        sim.Timer
+	requestor    topology.NodeID
+	reqDistSrc   time.Duration
+	pendingUntil sim.Time
+
+	// engaged marks that this host scheduled or sent a reply for the
+	// packet; requestAt and repliesSeen feed adaptive timer adjustment.
+	engaged     bool
+	requestAt   sim.Time
+	repliesSeen int
+}
+
+// streamState is a host's per-source reception and recovery state. SRM
+// supports any number of concurrent single-source transmissions over
+// the shared multicast group (§2); every stream recovers independently.
+type streamState struct {
+	source   topology.NodeID
+	received []bool
+	// cursor: every sequence number below it has been classified as
+	// received or detected lost.
+	cursor int
+	// highestKnown is the highest sequence number known to exist in
+	// this stream, -1 initially.
+	highestKnown int
+	// advertPending is the highest sequence number for which a deferred
+	// session-triggered detection pass has been scheduled.
+	advertPending int
+
+	losses  map[int]*lossRecord
+	replies map[int]*replyState
+}
+
+func newStreamState(source topology.NodeID) *streamState {
+	return &streamState{
+		source:        source,
+		highestKnown:  -1,
+		advertPending: -1,
+		losses:        make(map[int]*lossRecord),
+		replies:       make(map[int]*replyState),
+	}
+}
+
+// has reports possession of seq within the stream.
+func (st *streamState) has(seq int) bool {
+	return seq >= 0 && seq < len(st.received) && st.received[seq]
+}
+
+func (st *streamState) markReceived(seq int) {
+	for len(st.received) <= seq {
+		st.received = append(st.received, false)
+	}
+	st.received[seq] = true
+}
+
+func (st *streamState) noteExists(seq int) {
+	if seq > st.highestKnown {
+		st.highestKnown = seq
+	}
+}
+
+// Agent is one SRM endpoint. Every group member both receives all
+// streams and may originate its own stream with Transmit. It implements
+// netsim.Host. All methods run on the simulation goroutine.
+type Agent struct {
+	id topology.NodeID
+
+	eng *sim.Engine
+	net *netsim.Network
+	rng *sim.RNG
+	p   Params
+	obs Observer
+	ext Extension
+
+	dist    map[topology.NodeID]time.Duration
+	echo    *echoState
+	streams map[topology.NodeID]*streamState
+
+	stopped      bool
+	crashed      bool
+	missingDists int
+
+	adaptiveCfg AdaptiveConfig
+	adaptive    adaptiveState
+}
+
+var _ netsim.Host = (*Agent)(nil)
+
+// NewAgent constructs an SRM endpoint at node id. obs may be nil; ext
+// may be nil for plain SRM. The agent registers itself with the network.
+func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.NodeID, p Params, obs Observer, ext Extension) (*Agent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	a := &Agent{
+		id:      id,
+		eng:     eng,
+		net:     net,
+		rng:     rng,
+		p:       p,
+		obs:     obs,
+		ext:     ext,
+		dist:    make(map[topology.NodeID]time.Duration),
+		echo:    newEchoState(),
+		streams: make(map[topology.NodeID]*streamState),
+	}
+	net.AttachHost(id, a)
+	return a, nil
+}
+
+// ID returns the agent's node.
+func (a *Agent) ID() topology.NodeID { return a.id }
+
+// Params returns the agent's initial scheduling parameters.
+func (a *Agent) Params() Params { return a.p }
+
+// stream returns (creating on first use) the state for the given
+// source's stream.
+func (a *Agent) stream(source topology.NodeID) *streamState {
+	st, ok := a.streams[source]
+	if !ok {
+		st = newStreamState(source)
+		a.streams[source] = st
+	}
+	return st
+}
+
+// Sources lists the sources this agent has state for, in unspecified
+// order.
+func (a *Agent) Sources() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(a.streams))
+	for s := range a.streams {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Stop halts session-message rescheduling. In-flight timers drain
+// naturally.
+func (a *Agent) Stop() { a.stopped = true }
+
+// Crash makes the host fail-stop: it ceases processing deliveries,
+// sending session messages, and firing protocol timers. The paper's
+// §3.3 argues CESRM tolerates exactly this — cached repliers that leave
+// or crash stop answering expedited requests, losses fall back to SRM,
+// and the cache evolves to a live replier.
+func (a *Agent) Crash() {
+	a.crashed = true
+	a.stopped = true
+	for _, st := range a.streams {
+		for _, ls := range st.losses {
+			a.eng.Cancel(ls.timer)
+		}
+		for _, rs := range st.replies {
+			a.eng.Cancel(rs.timer)
+		}
+	}
+}
+
+// Crashed reports whether Crash has been called.
+func (a *Agent) Crashed() bool { return a.crashed }
+
+// Outstanding returns the number of detected losses not yet recovered,
+// across all streams.
+func (a *Agent) Outstanding() int {
+	n := 0
+	for _, st := range a.streams {
+		for _, ls := range st.losses {
+			if !ls.recovered {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ClassifiedThrough returns the lowest sequence number of the source's
+// stream not yet classified as received-or-lost.
+func (a *Agent) ClassifiedThrough(source topology.NodeID) int {
+	return a.stream(source).cursor
+}
+
+// Has reports whether the agent holds packet seq of the source's stream
+// (received it, recovered it, or originally sent it).
+func (a *Agent) Has(source topology.NodeID, seq int) bool {
+	st, ok := a.streams[source]
+	return ok && st.has(seq)
+}
+
+// MissingIn returns how many of the packets [0, n) of the source's
+// stream the agent does not hold. Zero after a run means full
+// reliability was achieved.
+func (a *Agent) MissingIn(source topology.NodeID, n int) int {
+	missing := 0
+	for i := 0; i < n; i++ {
+		if !a.Has(source, i) {
+			missing++
+		}
+	}
+	return missing
+}
+
+// EverLost reports whether the agent ever classified seq of the
+// source's stream as lost, regardless of later recovery.
+func (a *Agent) EverLost(source topology.NodeID, seq int) bool {
+	st, ok := a.streams[source]
+	if !ok {
+		return false
+	}
+	_, lost := st.losses[seq]
+	return lost
+}
+
+// Distance returns the agent's one-way distance estimate to node n,
+// falling back to Params.DefaultDistance when no session message from n
+// has been seen.
+func (a *Agent) Distance(n topology.NodeID) time.Duration {
+	if n == a.id {
+		return 0
+	}
+	if d, ok := a.dist[n]; ok {
+		return d
+	}
+	a.missingDists++
+	return a.p.DefaultDistance
+}
+
+// MissingDistanceLookups counts Distance calls that fell back to the
+// default; nonzero values indicate an inadequate warm-up.
+func (a *Agent) MissingDistanceLookups() int { return a.missingDists }
+
+// SetDistance primes the distance estimate to node n, as a completed
+// session exchange would. Tests and bootstrap paths use it to start
+// from a converged state.
+func (a *Agent) SetDistance(n topology.NodeID, d time.Duration) { a.dist[n] = d }
+
+// StartSessions begins periodic session-message multicast, with the
+// first message sent after a random fraction of the session period so
+// that hosts do not fire in lockstep.
+func (a *Agent) StartSessions() {
+	a.eng.Schedule(a.rng.UniformDuration(0, a.p.SessionPeriod), a.sessionTick)
+}
+
+func (a *Agent) sessionTick(now sim.Time) {
+	if a.stopped {
+		return
+	}
+	highest := make(map[topology.NodeID]int, len(a.streams))
+	for src, st := range a.streams {
+		if st.highestKnown >= 0 {
+			highest[src] = st.highestKnown
+		}
+	}
+	m := &SessionMsg{From: a.id, SentAt: now, Highest: highest}
+	if a.p.DistanceMode == DistEchoRTT {
+		m.Echoes = a.echo.echoes(now)
+	}
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Control, Session: true, Msg: m})
+	a.obs.SessionSent(a.id)
+	a.eng.Schedule(a.p.SessionPeriod, a.sessionTick)
+}
+
+// Transmit multicasts original packet seq of this host's own stream.
+func (a *Agent) Transmit(seq int) {
+	if a.crashed {
+		panic(fmt.Sprintf("srm: crashed host %d transmitting", a.id))
+	}
+	st := a.stream(a.id)
+	st.markReceived(seq)
+	st.noteExists(seq)
+	st.cursor = seq + 1
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Payload, Msg: &DataMsg{Source: a.id, Seq: seq}})
+}
+
+// Deliver implements netsim.Host.
+func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
+	if a.crashed {
+		return
+	}
+	switch m := p.Msg.(type) {
+	case *DataMsg:
+		a.onData(now, m)
+	case *SessionMsg:
+		a.onSession(now, m)
+	case *RequestMsg:
+		// Expedited requests are a CESRM concern handled by the wrapper
+		// in internal/core before reaching this dispatcher; a plain SRM
+		// agent ignores any that arrive.
+		if !m.Expedited {
+			a.onRequest(now, m)
+		}
+	case *ReplyMsg:
+		a.onReply(now, m)
+	default:
+		panic(fmt.Sprintf("srm: host %d received unknown message %T", a.id, p.Msg))
+	}
+}
+
+func (a *Agent) onData(now sim.Time, m *DataMsg) {
+	a.receivePacket(now, a.stream(m.Source), m.Seq, nil)
+}
+
+// receivePacket handles arrival of packet seq, via original data
+// (reply == nil) or a repair reply.
+func (a *Agent) receivePacket(now sim.Time, st *streamState, seq int, reply *ReplyMsg) {
+	st.noteExists(seq)
+	if st.has(seq) {
+		return // duplicate
+	}
+	st.markReceived(seq)
+	if ls, ok := st.losses[seq]; ok && !ls.recovered {
+		ls.recovered = true
+		ls.recoveredAt = now
+		a.eng.Cancel(ls.timer)
+		info := RecoveryInfo{
+			Requestor:   topology.None,
+			Replier:     topology.None,
+			OwnRequests: ls.info.OwnRequests,
+			Reschedules: ls.info.Reschedules,
+		}
+		if reply != nil {
+			info.Expedited = reply.Expedited
+			info.Requestor = reply.Requestor
+			info.Replier = reply.Replier
+		}
+		ls.info = info
+		a.obs.Recovered(a.id, st.source, seq, now, info)
+		a.observeRequestRecovery(st, ls)
+	}
+	// Classify any earlier packets this arrival reveals as missing.
+	a.detectThrough(now, st, seq-1)
+	if st.cursor == seq {
+		st.cursor = seq + 1
+	}
+	if a.ext != nil {
+		a.ext.PacketReceived(now, st.source, seq)
+	}
+}
+
+// detectThrough classifies every unclassified sequence number up to and
+// including x, detecting losses for those not received. A host never
+// detects losses on its own stream.
+func (a *Agent) detectThrough(now sim.Time, st *streamState, x int) {
+	if st.source == a.id {
+		return
+	}
+	for ; st.cursor <= x; st.cursor++ {
+		if !st.has(st.cursor) {
+			a.detectLoss(now, st, st.cursor)
+		}
+	}
+}
+
+// detectLoss begins recovery of packet seq (§2.1): schedule a request
+// timer uniformly within [C1*d, (C1+C2)*d] of the distance to the
+// source, and give the CESRM extension its chance to expedite.
+func (a *Agent) detectLoss(now sim.Time, st *streamState, seq int) {
+	if _, ok := st.losses[seq]; ok {
+		return
+	}
+	ls := &lossRecord{detectedAt: now}
+	st.losses[seq] = ls
+	a.scheduleRequest(st, ls, seq)
+	ls.k = 1
+	a.obs.LossDetected(a.id, st.source, seq, now)
+	if a.ext != nil {
+		a.ext.LossDetected(now, st.source, seq)
+	}
+}
+
+// scheduleRequest arms the request timer for the loss using the current
+// back-off exponent.
+func (a *Agent) scheduleRequest(st *streamState, ls *lossRecord, seq int) {
+	d := a.Distance(st.source)
+	factor := a.backoffFactor(ls.k)
+	lo := sim.Scale(d, a.p.C1*factor)
+	hi := sim.Scale(d, (a.p.C1+a.p.C2)*factor)
+	ls.timer = a.eng.Schedule(a.rng.UniformDuration(lo, hi), func(now sim.Time) {
+		a.requestTimerFired(now, st, seq)
+	})
+}
+
+func (a *Agent) backoffFactor(k int) float64 {
+	if k > a.p.MaxBackoff {
+		k = a.p.MaxBackoff
+	}
+	return float64(uint64(1) << uint(k))
+}
+
+// requestTimerFired multicasts a repair request for seq and schedules
+// the next round (§2.1).
+func (a *Agent) requestTimerFired(now sim.Time, st *streamState, seq int) {
+	ls, ok := st.losses[seq]
+	if !ok || ls.recovered {
+		return
+	}
+	m := &RequestMsg{
+		Source:          st.source,
+		Seq:             seq,
+		Requestor:       a.id,
+		ReqDistToSource: a.Distance(st.source),
+		TurningPoint:    topology.None,
+	}
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Control, Msg: m})
+	a.obs.RequestSent(a.id, st.source, seq, ls.k-1)
+	ls.info.OwnRequests++
+	if ls.firstRequestAt == 0 {
+		ls.firstRequestAt = now
+	}
+	// Schedule the next recovery round with a doubled interval and set
+	// the back-off abstinence period 2^k*C3*d.
+	a.rescheduleRequest(now, st, ls, seq)
+}
+
+// rescheduleRequest moves the loss to its next recovery round, arming a
+// new timer with the doubled interval and starting the back-off
+// abstinence period.
+func (a *Agent) rescheduleRequest(now sim.Time, st *streamState, ls *lossRecord, seq int) {
+	a.eng.Cancel(ls.timer)
+	a.scheduleRequest(st, ls, seq)
+	d := a.Distance(st.source)
+	ls.abstainUntil = now.Add(sim.Scale(d, a.p.C3*a.backoffFactor(ls.k)))
+	ls.k++
+}
+
+// onRequest processes a multicast repair request (§2.1, §2.2).
+func (a *Agent) onRequest(now sim.Time, m *RequestMsg) {
+	st := a.stream(m.Source)
+	st.noteExists(m.Seq)
+	if ls, ok := st.losses[m.Seq]; ok && !ls.recovered {
+		// We share the loss. If our own request is scheduled and we are
+		// outside the back-off abstinence period, this request
+		// suppresses ours: back off to the next round.
+		ls.foreignRequests++
+		if ls.firstRequestAt == 0 {
+			ls.firstRequestAt = now
+		}
+		if now.Before(ls.abstainUntil) {
+			return // same round; discard
+		}
+		a.rescheduleRequest(now, st, ls, m.Seq)
+		ls.info.Reschedules++
+		return
+	}
+	if !st.has(m.Seq) {
+		// We neither have the packet nor have classified it lost yet;
+		// SRM detects losses from data gaps and session messages only.
+		return
+	}
+	a.considerReply(now, st, m)
+}
+
+// considerReply schedules a repair reply for a request if none is
+// scheduled or pending (§2.2).
+func (a *Agent) considerReply(now sim.Time, st *streamState, m *RequestMsg) {
+	rs := st.replies[m.Seq]
+	if rs == nil {
+		rs = &replyState{}
+		st.replies[m.Seq] = rs
+	}
+	if now.Before(rs.pendingUntil) {
+		return // reply abstinence: discard the request
+	}
+	if rs.timer.Active() {
+		return // a reply is already scheduled
+	}
+	d := a.Distance(m.Requestor)
+	lo := sim.Scale(d, a.p.D1)
+	hi := sim.Scale(d, a.p.D1+a.p.D2)
+	rs.requestor = m.Requestor
+	rs.reqDistSrc = m.ReqDistToSource
+	rs.engaged = true
+	rs.requestAt = now
+	seq := m.Seq
+	rs.timer = a.eng.Schedule(a.rng.UniformDuration(lo, hi), func(now sim.Time) {
+		a.replyTimerFired(now, st, seq)
+	})
+}
+
+// replyTimerFired multicasts the scheduled repair reply and starts the
+// reply abstinence period.
+func (a *Agent) replyTimerFired(now sim.Time, st *streamState, seq int) {
+	rs := st.replies[seq]
+	if rs == nil || !st.has(seq) {
+		return
+	}
+	m := &ReplyMsg{
+		Source:                 st.source,
+		Seq:                    seq,
+		Replier:                a.id,
+		Requestor:              rs.requestor,
+		ReqDistToSource:        rs.reqDistSrc,
+		ReplierDistToRequestor: a.Distance(rs.requestor),
+	}
+	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Payload, Msg: m})
+	a.obs.ReplySent(a.id, st.source, seq, false)
+	rs.pendingUntil = now.Add(sim.Scale(a.Distance(rs.requestor), a.p.D3))
+	a.noteReplyEvent(now, rs)
+}
+
+// onReply processes a repair reply: recover the packet if we were
+// missing it, cancel any scheduled reply for it, and observe the reply
+// abstinence period (§2.2).
+func (a *Agent) onReply(now sim.Time, m *ReplyMsg) {
+	st := a.stream(m.Source)
+	if rs, ok := st.replies[m.Seq]; ok && rs.timer.Active() {
+		a.eng.Cancel(rs.timer)
+	}
+	rs := st.replies[m.Seq]
+	if rs == nil {
+		rs = &replyState{}
+		st.replies[m.Seq] = rs
+	}
+	abstain := now.Add(sim.Scale(a.Distance(m.Requestor), a.p.D3))
+	if abstain.After(rs.pendingUntil) {
+		rs.pendingUntil = abstain
+	}
+	if rs.engaged {
+		a.noteReplyEvent(now, rs)
+	}
+	a.receivePacket(now, st, m.Seq, m)
+	if a.ext != nil {
+		a.ext.ReplyObserved(now, m, a.EverLost(m.Source, m.Seq))
+	}
+}
+
+// noteReplyEvent records a reply observation (own send or foreign
+// receipt) for a packet this host engaged in replying to, feeding the
+// adaptive reply-timer averages: the first reply of a round samples the
+// reply delay with no duplicate; later replies are duplicate events.
+func (a *Agent) noteReplyEvent(now sim.Time, rs *replyState) {
+	rs.repliesSeen++
+	if !a.adaptiveCfg.Enabled {
+		return
+	}
+	d := a.Distance(rs.requestor)
+	if rs.repliesSeen == 1 {
+		a.observeReplyOutcome(rs, 0, now.Sub(rs.requestAt), d)
+	} else {
+		a.observeReplyOutcome(rs, 1, 0, 0)
+	}
+}
+
+// onSession records the sender's distance and detects losses implied by
+// the sender's highest known sequence numbers. Detection is deferred by
+// DetectionSlack: session messages are 0-byte control packets that can
+// outrun in-flight data packets, which pay per-hop serialization delay.
+func (a *Agent) onSession(now sim.Time, m *SessionMsg) {
+	switch a.p.DistanceMode {
+	case DistOneWay:
+		a.dist[m.From] = time.Duration(now.Sub(m.SentAt))
+	case DistEchoRTT:
+		a.echo.record(m.From, m.SentAt, now)
+		if e, ok := m.Echoes[a.id]; ok {
+			if rtt, ok := rttFromEcho(now, e); ok {
+				a.dist[m.From] = rtt / 2
+			}
+		}
+	}
+	for src, highest := range m.Highest {
+		if highest < 0 {
+			continue
+		}
+		st := a.stream(src)
+		st.noteExists(highest)
+		if src == a.id || highest < st.cursor || highest <= st.advertPending {
+			continue
+		}
+		st.advertPending = highest
+		h := highest
+		stream := st
+		a.eng.Schedule(a.p.DetectionSlack, func(now sim.Time) {
+			a.detectThrough(now, stream, h)
+		})
+	}
+}
+
+// LossReport summarizes one loss for metrics extraction.
+type LossReport struct {
+	Source      topology.NodeID
+	Seq         int
+	DetectedAt  sim.Time
+	Recovered   bool
+	RecoveredAt sim.Time
+	Info        RecoveryInfo
+}
+
+// Losses returns reports for every loss this agent detected across all
+// streams, in unspecified order.
+func (a *Agent) Losses() []LossReport {
+	var out []LossReport
+	for src, st := range a.streams {
+		for seq, ls := range st.losses {
+			out = append(out, LossReport{
+				Source:      src,
+				Seq:         seq,
+				DetectedAt:  ls.detectedAt,
+				Recovered:   ls.recovered,
+				RecoveredAt: ls.recoveredAt,
+				Info:        ls.info,
+			})
+		}
+	}
+	return out
+}
+
+// ---- CESRM extension surface (§3.2, §3.3) ----
+
+// ReplyBlocked reports whether a reply for seq of the source's stream is
+// currently scheduled or pending on this host; an expedited replier
+// must stay silent in that case (§3.2).
+func (a *Agent) ReplyBlocked(now sim.Time, source topology.NodeID, seq int) bool {
+	st, ok := a.streams[source]
+	if !ok {
+		return false
+	}
+	rs, ok := st.replies[seq]
+	if !ok {
+		return false
+	}
+	return rs.timer.Active() || now.Before(rs.pendingUntil)
+}
+
+// UnicastExpeditedRequest sends an expedited request for seq of the
+// source's stream to the chosen replier, annotated with the cached
+// turning point (None without router assistance).
+func (a *Agent) UnicastExpeditedRequest(source topology.NodeID, seq int, replier, turningPoint topology.NodeID) {
+	m := &RequestMsg{
+		Source:          source,
+		Seq:             seq,
+		Requestor:       a.id,
+		ReqDistToSource: a.Distance(source),
+		Expedited:       true,
+		TurningPoint:    turningPoint,
+	}
+	a.net.Unicast(a.id, replier, &netsim.Packet{Class: netsim.Control, Msg: m})
+	a.obs.ExpRequestSent(a.id, source, seq)
+}
+
+// SendExpeditedReply immediately transmits an expedited reply for the
+// expedited request m, provided this host has the packet and no reply
+// for it is scheduled or pending. When subcast is true (router-assisted
+// mode, §3.3) and the request carries a turning point, the reply is
+// unicast to the turning-point router and subcast downstream from it;
+// otherwise it is multicast to the whole group. Returns whether a reply
+// was sent.
+func (a *Agent) SendExpeditedReply(now sim.Time, m *RequestMsg, subcast bool) bool {
+	st := a.stream(m.Source)
+	if !st.has(m.Seq) || a.ReplyBlocked(now, m.Source, m.Seq) {
+		return false
+	}
+	reply := &ReplyMsg{
+		Source:                 m.Source,
+		Seq:                    m.Seq,
+		Replier:                a.id,
+		Requestor:              m.Requestor,
+		ReqDistToSource:        m.ReqDistToSource,
+		ReplierDistToRequestor: a.Distance(m.Requestor),
+		Expedited:              true,
+	}
+	pkt := &netsim.Packet{Class: netsim.Payload, Msg: reply}
+	if subcast && m.TurningPoint != topology.None {
+		a.net.UnicastThenSubcast(a.id, m.TurningPoint, pkt)
+	} else {
+		a.net.Multicast(a.id, pkt)
+	}
+	a.obs.ReplySent(a.id, m.Source, m.Seq, true)
+	rs := st.replies[m.Seq]
+	if rs == nil {
+		rs = &replyState{}
+		st.replies[m.Seq] = rs
+	}
+	rs.pendingUntil = now.Add(sim.Scale(a.Distance(m.Requestor), a.p.D3))
+	return true
+}

@@ -1,0 +1,123 @@
+package srm
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+func TestDistanceModeString(t *testing.T) {
+	if DistOneWay.String() != "one-way" || DistEchoRTT.String() != "echo-rtt" {
+		t.Fatal("mode names wrong")
+	}
+	if DistanceMode(9).String() != "unknown" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestRTTFromEcho(t *testing.T) {
+	// Peer sent at 100ms; we receive its echo of our own timestamp at
+	// 500ms, held 150ms: rtt = 500 - 100 - 150 = 250ms.
+	e := Echo{PeerSentAt: sim.Time(100 * time.Millisecond), HeldFor: 150 * time.Millisecond}
+	rtt, ok := rttFromEcho(sim.Time(500*time.Millisecond), e)
+	if !ok || rtt != 250*time.Millisecond {
+		t.Fatalf("rtt = %v, %v", rtt, ok)
+	}
+	// Corrupt echo producing negative RTT is rejected.
+	bad := Echo{PeerSentAt: sim.Time(time.Second), HeldFor: time.Second}
+	if _, ok := rttFromEcho(sim.Time(500*time.Millisecond), bad); ok {
+		t.Fatal("negative RTT accepted")
+	}
+}
+
+func TestEchoStateRoundTrip(t *testing.T) {
+	e := newEchoState()
+	if e.echoes(0) != nil {
+		t.Fatal("empty echo state produced echoes")
+	}
+	e.record(7, sim.Time(100*time.Millisecond), sim.Time(140*time.Millisecond))
+	out := e.echoes(sim.Time(200 * time.Millisecond))
+	echo, ok := out[7]
+	if !ok {
+		t.Fatal("peer 7 missing from echoes")
+	}
+	if echo.PeerSentAt != sim.Time(100*time.Millisecond) || echo.HeldFor != 60*time.Millisecond {
+		t.Fatalf("echo = %+v", echo)
+	}
+}
+
+// TestEchoRTTConvergesToTrueDistances runs a session exchange in
+// echo-RTT mode and verifies the converged estimates equal the true
+// control-plane distances (the simulator's symmetric links make
+// RTT/2 exact).
+func TestEchoRTTConvergesToTrueDistances(t *testing.T) {
+	p := DefaultParams()
+	p.DistanceMode = DistEchoRTT
+	f := newFixture(t, deepTree(), p)
+	// Clear primed distances; echo mode must learn them from scratch.
+	for _, a := range f.agents {
+		a.dist = make(map[topology.NodeID]time.Duration)
+	}
+	for _, a := range f.agents {
+		a.StartSessions()
+	}
+	f.eng.RunUntil(sim.Time(5 * time.Second))
+	for _, a := range f.agents {
+		a.Stop()
+	}
+	f.eng.Run()
+
+	hosts := []topology.NodeID{0, 2, 4}
+	for _, x := range hosts {
+		for _, y := range hosts {
+			if x == y {
+				continue
+			}
+			want := f.net.Distance(x, y)
+			if got := f.agents[x].Distance(y); got != want {
+				t.Errorf("echo-rtt d(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+	if f.agents[2].MissingDistanceLookups() != 0 {
+		t.Fatal("distance lookups fell back to default")
+	}
+}
+
+// TestEchoRTTProtocolRunMatchesOneWay reenacts a small loss scenario in
+// both distance modes; since estimates converge to the same values, the
+// protocols behave identically after warm-up.
+func TestEchoRTTProtocolRunMatchesOneWay(t *testing.T) {
+	results := make(map[DistanceMode]int)
+	for _, mode := range []DistanceMode{DistOneWay, DistEchoRTT} {
+		p := detParams()
+		p.DistanceMode = mode
+		f := newFixture(t, yTree(), p)
+		for _, a := range f.agents {
+			a.StartSessions()
+		}
+		f.net.SetDropFunc(dropSeqOnLink(5, 2))
+		// Send data after a 3s warm-up so echo mode converges.
+		src := f.agents[0]
+		for i := 0; i < 8; i++ {
+			seq := i
+			f.eng.ScheduleAt(sim.Time(3*time.Second+time.Duration(i)*100*time.Millisecond), func(sim.Time) {
+				src.Transmit(seq)
+			})
+		}
+		f.eng.RunUntil(sim.Time(10 * time.Second))
+		for _, a := range f.agents {
+			a.Stop()
+		}
+		f.eng.Run()
+		if f.agents[2].MissingIn(0, 8) != 0 {
+			t.Fatalf("mode %v: recovery incomplete", mode)
+		}
+		results[mode] = len(f.log.recoveries)
+	}
+	if results[DistOneWay] != results[DistEchoRTT] {
+		t.Fatalf("recovery counts differ across distance modes: %v", results)
+	}
+}

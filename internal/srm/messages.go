@@ -1,0 +1,94 @@
+// Package srm implements the Scalable Reliable Multicast protocol of
+// Floyd et al. (SIGCOMM 1995 / ToN 1997) as described in §2 of the
+// CESRM paper: receiver-based loss recovery with multicast repair
+// requests and replies, deterministic and probabilistic suppression,
+// exponential request back-off with a back-off abstinence period, and
+// reply abstinence.
+//
+// The agent exposes the extension points (loss-detection and
+// reply-observation hooks, expedited send helpers) that the CESRM layer
+// in internal/core builds on; plain SRM uses none of them.
+package srm
+
+import (
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// DataMsg is an original data packet of one source's stream. SRM
+// supports any number of concurrent single-source streams over the
+// shared group; all recovery state is kept per source.
+type DataMsg struct {
+	// Source is the originating host.
+	Source topology.NodeID
+	// Seq is the packet sequence number within the stream, dense from 0.
+	Seq int
+}
+
+// IsOriginalData marks DataMsg for netsim's cost segregation.
+func (*DataMsg) IsOriginalData() bool { return true }
+
+// SessionMsg is a periodic group session message (§2). Timestamps give
+// receivers one-way distance estimates; the per-source highest known
+// sequence numbers let receivers detect tail losses they cannot see as
+// gaps.
+type SessionMsg struct {
+	// From is the sending host.
+	From topology.NodeID
+	// SentAt is the transmission timestamp used for distance estimation.
+	SentAt sim.Time
+	// Highest maps each known source to the highest sequence number the
+	// sender knows to exist in that source's stream.
+	Highest map[topology.NodeID]int
+	// Echoes carries, per peer, the sender's echo of that peer's last
+	// session timestamp (DistEchoRTT mode only; nil otherwise). A
+	// receiver finds its own entry and derives a clock-offset-free RTT.
+	Echoes map[topology.NodeID]Echo
+}
+
+// RequestMsg is a repair request. Per §3.1 of the paper, requests are
+// annotated with the requestor and its distance estimate to the source
+// so that receivers can reconstruct optimal requestor/replier pairs.
+type RequestMsg struct {
+	// Source identifies the stream the packet belongs to.
+	Source topology.NodeID
+	// Seq is the requested packet.
+	Seq int
+	// Requestor is the requesting host.
+	Requestor topology.NodeID
+	// ReqDistToSource is the requestor's distance estimate to the
+	// source (the d̂qs annotation).
+	ReqDistToSource time.Duration
+	// Expedited marks CESRM expedited requests, which are unicast to a
+	// chosen replier rather than multicast (§3.2). Plain SRM ignores
+	// them.
+	Expedited bool
+	// TurningPoint carries the cached turning-point router in the
+	// router-assisted variant (§3.3); None otherwise.
+	TurningPoint topology.NodeID
+}
+
+// ReplyMsg is a repair reply: the retransmission of the packet. Per
+// §3.1 it is annotated with the requestor that instigated it, that
+// requestor's distance to the source, the replier, and the replier's
+// distance to the requestor.
+type ReplyMsg struct {
+	// Source identifies the stream the packet belongs to.
+	Source topology.NodeID
+	// Seq is the retransmitted packet.
+	Seq int
+	// Replier is the retransmitting host.
+	Replier topology.NodeID
+	// Requestor is the host whose request instigated this reply.
+	Requestor topology.NodeID
+	// ReqDistToSource is the requestor's annotated distance to the
+	// source (d̂qs).
+	ReqDistToSource time.Duration
+	// ReplierDistToRequestor is the replier's distance estimate to the
+	// requestor (d̂rq).
+	ReplierDistToRequestor time.Duration
+	// Expedited marks CESRM expedited replies (§3.2).
+	Expedited bool
+}

@@ -1,0 +1,282 @@
+// Package stats collects and aggregates protocol events into the
+// metrics the paper's evaluation reports: per-receiver normalized
+// recovery times (Figure 1), expedited/non-expedited latency splits
+// (Figure 2), per-receiver request and reply counts split by kind
+// (Figures 3 and 4), expedited success ratios and transmission overhead
+// (Figure 5).
+package stats
+
+import (
+	"sort"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// Recovery records one completed loss recovery on one host.
+type Recovery struct {
+	Host topology.NodeID
+	// Source identifies the stream the recovered packet belongs to.
+	Source      topology.NodeID
+	Seq         int
+	DetectedAt  sim.Time
+	RecoveredAt sim.Time
+	// Expedited reports recovery via a CESRM expedited reply.
+	Expedited bool
+	// OwnRequests counts repair requests the host itself sent for the
+	// packet; Reschedules counts suppression back-offs. A "first round"
+	// recovery has OwnRequests+Reschedules <= 1.
+	OwnRequests int
+	Reschedules int
+	Requestor   topology.NodeID
+	Replier     topology.NodeID
+}
+
+// FirstRound reports whether the recovery completed within the first
+// recovery round (no back-off beyond the initial request schedule).
+func (r Recovery) FirstRound() bool { return r.OwnRequests+r.Reschedules <= 1 }
+
+// Latency is the detection-to-recovery delay.
+func (r Recovery) Latency() time.Duration { return r.RecoveredAt.Sub(r.DetectedAt) }
+
+// HostCounts tallies per-host message transmissions.
+type HostCounts struct {
+	Requests    int // multicast repair requests
+	ExpRequests int // unicast expedited requests
+	Replies     int // multicast repair replies (retransmissions)
+	ExpReplies  int // expedited replies
+	Sessions    int
+}
+
+// Collector implements srm.Observer, accumulating events during a
+// simulation run. The zero value is not usable; construct with New.
+type Collector struct {
+	detected   map[hostSeq]sim.Time
+	expReqs    map[hostSeq]bool
+	recoveries []Recovery
+	counts     map[topology.NodeID]*HostCounts
+	lossCount  map[topology.NodeID]int
+}
+
+type hostSeq struct {
+	host   topology.NodeID
+	source topology.NodeID
+	seq    int
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		detected:  make(map[hostSeq]sim.Time),
+		expReqs:   make(map[hostSeq]bool),
+		counts:    make(map[topology.NodeID]*HostCounts),
+		lossCount: make(map[topology.NodeID]int),
+	}
+}
+
+var _ srm.Observer = (*Collector)(nil)
+
+func (c *Collector) host(h topology.NodeID) *HostCounts {
+	hc := c.counts[h]
+	if hc == nil {
+		hc = &HostCounts{}
+		c.counts[h] = hc
+	}
+	return hc
+}
+
+// LossDetected implements srm.Observer.
+func (c *Collector) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
+	c.detected[hostSeq{host, source, seq}] = at
+	c.lossCount[host]++
+}
+
+// Recovered implements srm.Observer.
+func (c *Collector) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	det := c.detected[hostSeq{host, source, seq}]
+	c.recoveries = append(c.recoveries, Recovery{
+		Host:        host,
+		Source:      source,
+		Seq:         seq,
+		DetectedAt:  det,
+		RecoveredAt: at,
+		Expedited:   info.Expedited,
+		OwnRequests: info.OwnRequests,
+		Reschedules: info.Reschedules,
+		Requestor:   info.Requestor,
+		Replier:     info.Replier,
+	})
+}
+
+// RequestSent implements srm.Observer.
+func (c *Collector) RequestSent(host, source topology.NodeID, seq int, round int) {
+	c.host(host).Requests++
+}
+
+// ExpRequestSent implements srm.Observer.
+func (c *Collector) ExpRequestSent(host, source topology.NodeID, seq int) {
+	c.host(host).ExpRequests++
+	c.expReqs[hostSeq{host, source, seq}] = true
+}
+
+// ReplySent implements srm.Observer.
+func (c *Collector) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	if expedited {
+		c.host(host).ExpReplies++
+	} else {
+		c.host(host).Replies++
+	}
+}
+
+// SessionSent implements srm.Observer.
+func (c *Collector) SessionSent(host topology.NodeID) {
+	c.host(host).Sessions++
+}
+
+// Recoveries returns all recorded recoveries in completion order.
+func (c *Collector) Recoveries() []Recovery { return c.recoveries }
+
+// Losses returns the number of losses detected by host.
+func (c *Collector) Losses(host topology.NodeID) int { return c.lossCount[host] }
+
+// Counts returns the per-host transmission counters for host.
+func (c *Collector) Counts(host topology.NodeID) HostCounts {
+	if hc, ok := c.counts[host]; ok {
+		return *hc
+	}
+	return HostCounts{}
+}
+
+// TotalCounts sums transmission counters over all hosts.
+func (c *Collector) TotalCounts() HostCounts {
+	var t HostCounts
+	for _, hc := range c.counts {
+		t.Requests += hc.Requests
+		t.ExpRequests += hc.ExpRequests
+		t.Replies += hc.Replies
+		t.ExpReplies += hc.ExpReplies
+		t.Sessions += hc.Sessions
+	}
+	return t
+}
+
+// ExpeditedSuccessRatio returns #expedited replies / #expedited
+// requests, the Figure 5 (left) metric, and false when no expedited
+// requests were sent.
+func (c *Collector) ExpeditedSuccessRatio() (float64, bool) {
+	t := c.TotalCounts()
+	if t.ExpRequests == 0 {
+		return 0, false
+	}
+	return float64(t.ExpReplies) / float64(t.ExpRequests), true
+}
+
+// ExpRequestKey identifies one expedited request by host, stream and
+// sequence number.
+type ExpRequestKey struct {
+	Host   topology.NodeID
+	Source topology.NodeID
+	Seq    int
+}
+
+// ExpRequestedPackets returns the distinct (host, source, seq) triples
+// for which expedited requests were sent, in unspecified order. The
+// experiment layer joins these against the trace to count spurious
+// expedited requests — requests chasing packets that were merely
+// reordered, not lost (§3.2).
+func (c *Collector) ExpRequestedPackets() []ExpRequestKey {
+	out := make([]ExpRequestKey, 0, len(c.expReqs))
+	for k := range c.expReqs {
+		out = append(out, ExpRequestKey{Host: k.host, Source: k.source, Seq: k.seq})
+	}
+	return out
+}
+
+// RTTFunc supplies a host's round-trip-time normalization basis,
+// typically its RTT to the transmission source.
+type RTTFunc func(host topology.NodeID) time.Duration
+
+// LatencySummary aggregates normalized recovery latencies.
+type LatencySummary struct {
+	// Count is the number of recoveries aggregated.
+	Count int
+	// MeanRTT is the mean recovery latency in units of the host RTT.
+	MeanRTT float64
+}
+
+// meanNormalized averages latency/RTT over recoveries matching keep.
+func (c *Collector) meanNormalized(rtt RTTFunc, keep func(Recovery) bool) LatencySummary {
+	var sum float64
+	n := 0
+	for _, r := range c.recoveries {
+		if !keep(r) {
+			continue
+		}
+		basis := rtt(r.Host)
+		if basis <= 0 {
+			continue
+		}
+		sum += float64(r.Latency()) / float64(basis)
+		n++
+	}
+	if n == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{Count: n, MeanRTT: sum / float64(n)}
+}
+
+// NormalizedRecovery returns the host's average normalized recovery time
+// over all its recoveries (the Figure 1 metric).
+func (c *Collector) NormalizedRecovery(host topology.NodeID, rtt RTTFunc) LatencySummary {
+	return c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host })
+}
+
+// NormalizedRecoverySplit returns the host's average normalized recovery
+// time separately for expedited and non-expedited recoveries (the
+// Figure 2 metric).
+func (c *Collector) NormalizedRecoverySplit(host topology.NodeID, rtt RTTFunc) (expedited, normal LatencySummary) {
+	expedited = c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host && r.Expedited })
+	normal = c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host && !r.Expedited })
+	return expedited, normal
+}
+
+// FirstRoundNormalized returns the average normalized latency of
+// non-expedited first-round recoveries across all hosts (the §3.4 /
+// Eq. (1) metric).
+func (c *Collector) FirstRoundNormalized(rtt RTTFunc) LatencySummary {
+	return c.meanNormalized(rtt, func(r Recovery) bool { return !r.Expedited && r.FirstRound() })
+}
+
+// OverallNormalized returns the average normalized latency over every
+// recovery on every host.
+func (c *Collector) OverallNormalized(rtt RTTFunc) LatencySummary {
+	return c.meanNormalized(rtt, func(Recovery) bool { return true })
+}
+
+// NormalizedPercentile returns the q-quantile (q in [0,1]) of the
+// normalized recovery latencies across all hosts, or 0 with no
+// recoveries. Stall behavior under faults shows up in the upper
+// quantiles long before it moves the mean.
+func (c *Collector) NormalizedPercentile(rtt RTTFunc, q float64) float64 {
+	var norm []float64
+	for _, r := range c.recoveries {
+		basis := rtt(r.Host)
+		if basis > 0 {
+			norm = append(norm, float64(r.Latency())/float64(basis))
+		}
+	}
+	if len(norm) == 0 {
+		return 0
+	}
+	sort.Float64s(norm)
+	i := int(q * float64(len(norm)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(norm) {
+		i = len(norm) - 1
+	}
+	return norm[i]
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// Validator is an Observer that checks protocol invariants online, in
+// the spirit of the formal I/O-automaton treatment of SRM/CESRM in
+// Livadas's thesis (reference [10] of the paper). It is cheap enough to
+// run alongside the metrics collector in every experiment. Violations
+// accumulate rather than panic so a run's full violation set is
+// reported at once.
+//
+// Checked invariants (event-observable):
+//
+//  1. A loss is detected at most once per (host, source, seq).
+//  2. A recovery is preceded by exactly one detection of the same loss
+//     and happens at most once, never before its detection.
+//  3. Request back-off rounds per loss are strictly increasing from 0
+//     (exponential back-off never repeats or skips backwards).
+//  4. Events never run backwards in time per host.
+//  5. Expedited replies never outnumber expedited requests (an
+//     expedited reply is always instigated by an expedited request).
+type Validator struct {
+	violations []string
+
+	detected  map[hostSeq]sim.Time
+	recovered map[hostSeq]bool
+	lastRound map[hostSeq]int
+	lastEvent map[topology.NodeID]sim.Time
+
+	expReqs    int
+	expReplies int
+}
+
+// NewValidator returns an empty validator.
+func NewValidator() *Validator {
+	return &Validator{
+		detected:  make(map[hostSeq]sim.Time),
+		recovered: make(map[hostSeq]bool),
+		lastRound: make(map[hostSeq]int),
+		lastEvent: make(map[topology.NodeID]sim.Time),
+	}
+}
+
+var _ srm.Observer = (*Validator)(nil)
+
+func (v *Validator) violate(format string, args ...any) {
+	v.violations = append(v.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns all recorded invariant violations.
+func (v *Validator) Violations() []string { return v.violations }
+
+// Err returns an error summarizing violations, or nil.
+func (v *Validator) Err() error {
+	if len(v.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("protocol invariant violations (%d): %s", len(v.violations), v.violations[0])
+}
+
+func (v *Validator) clock(host topology.NodeID, at sim.Time) {
+	if last, ok := v.lastEvent[host]; ok && at.Before(last) {
+		v.violate("host %d: event at %v before previous event at %v", host, at, last)
+	}
+	v.lastEvent[host] = at
+}
+
+// LossDetected implements srm.Observer.
+func (v *Validator) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
+	v.clock(host, at)
+	k := hostSeq{host, source, seq}
+	if _, dup := v.detected[k]; dup {
+		v.violate("host %d: loss (%d,%d) detected twice", host, source, seq)
+	}
+	v.detected[k] = at
+}
+
+// Recovered implements srm.Observer.
+func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	v.clock(host, at)
+	k := hostSeq{host, source, seq}
+	det, ok := v.detected[k]
+	if !ok {
+		v.violate("host %d: recovery of (%d,%d) without detection", host, source, seq)
+	} else if at.Before(det) {
+		v.violate("host %d: recovery of (%d,%d) at %v before detection at %v", host, source, seq, at, det)
+	}
+	if v.recovered[k] {
+		v.violate("host %d: (%d,%d) recovered twice", host, source, seq)
+	}
+	v.recovered[k] = true
+	if info.OwnRequests < 0 || info.Reschedules < 0 {
+		v.violate("host %d: negative recovery counters %+v", host, info)
+	}
+}
+
+// RequestSent implements srm.Observer.
+func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int) {
+	k := hostSeq{host, source, seq}
+	if v.recovered[k] {
+		v.violate("host %d: request for already-recovered (%d,%d)", host, source, seq)
+	}
+	if _, ok := v.detected[k]; !ok {
+		v.violate("host %d: request for undetected (%d,%d)", host, source, seq)
+	}
+	if last, ok := v.lastRound[k]; ok {
+		if round <= last {
+			v.violate("host %d: request round %d after round %d for (%d,%d)", host, round, last, source, seq)
+		}
+	} else if round < 0 {
+		v.violate("host %d: negative request round %d", host, round)
+	}
+	v.lastRound[k] = round
+}
+
+// ExpRequestSent implements srm.Observer.
+func (v *Validator) ExpRequestSent(host, source topology.NodeID, seq int) {
+	v.expReqs++
+}
+
+// ReplySent implements srm.Observer.
+func (v *Validator) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	if expedited {
+		v.expReplies++
+		if v.expReplies > v.expReqs {
+			v.violate("expedited replies (%d) exceed expedited requests (%d)", v.expReplies, v.expReqs)
+		}
+	}
+}
+
+// SessionSent implements srm.Observer.
+func (v *Validator) SessionSent(host topology.NodeID) {}
+
+// Tee fans protocol events out to several observers, letting a metrics
+// collector and a validator watch the same run.
+type Tee []srm.Observer
+
+var _ srm.Observer = Tee{}
+
+// LossDetected implements srm.Observer.
+func (t Tee) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
+	for _, o := range t {
+		o.LossDetected(host, source, seq, at)
+	}
+}
+
+// Recovered implements srm.Observer.
+func (t Tee) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	for _, o := range t {
+		o.Recovered(host, source, seq, at, info)
+	}
+}
+
+// RequestSent implements srm.Observer.
+func (t Tee) RequestSent(host, source topology.NodeID, seq int, round int) {
+	for _, o := range t {
+		o.RequestSent(host, source, seq, round)
+	}
+}
+
+// ExpRequestSent implements srm.Observer.
+func (t Tee) ExpRequestSent(host, source topology.NodeID, seq int) {
+	for _, o := range t {
+		o.ExpRequestSent(host, source, seq)
+	}
+}
+
+// ReplySent implements srm.Observer.
+func (t Tee) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	for _, o := range t {
+		o.ReplySent(host, source, seq, expedited)
+	}
+}
+
+// SessionSent implements srm.Observer.
+func (t Tee) SessionSent(host topology.NodeID) {
+	for _, o := range t {
+		o.SessionSent(host)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"cesrm/internal/srm"
+)
+
+func TestValidatorCleanSequence(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(100))
+	v.RequestSent(2, 0, 1, 0)
+	v.RequestSent(2, 0, 1, 1)
+	v.Recovered(2, 0, 1, at(400), srm.RecoveryInfo{OwnRequests: 2})
+	v.ExpRequestSent(3, 0, 7)
+	v.ReplySent(4, 0, 7, true)
+	v.SessionSent(2)
+	if err := v.Err(); err != nil {
+		t.Fatalf("clean sequence flagged: %v", err)
+	}
+}
+
+func violationContains(t *testing.T, v *Validator, want string) {
+	t.Helper()
+	for _, s := range v.Violations() {
+		if strings.Contains(s, want) {
+			return
+		}
+	}
+	t.Fatalf("expected violation containing %q, got %v", want, v.Violations())
+}
+
+func TestValidatorDoubleDetection(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(100))
+	v.LossDetected(2, 0, 1, at(200))
+	violationContains(t, v, "detected twice")
+}
+
+func TestValidatorRecoveryWithoutDetection(t *testing.T) {
+	v := NewValidator()
+	v.Recovered(2, 0, 1, at(100), srm.RecoveryInfo{})
+	violationContains(t, v, "without detection")
+}
+
+func TestValidatorRecoveryBeforeDetection(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(300))
+	// Same-host clock runs backwards too; both violations fire.
+	v.Recovered(2, 0, 1, at(200), srm.RecoveryInfo{})
+	violationContains(t, v, "before detection")
+}
+
+func TestValidatorDoubleRecovery(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(100))
+	v.Recovered(2, 0, 1, at(200), srm.RecoveryInfo{})
+	v.Recovered(2, 0, 1, at(300), srm.RecoveryInfo{})
+	violationContains(t, v, "recovered twice")
+}
+
+func TestValidatorRequestAfterRecovery(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(100))
+	v.Recovered(2, 0, 1, at(200), srm.RecoveryInfo{})
+	v.RequestSent(2, 0, 1, 0)
+	violationContains(t, v, "already-recovered")
+}
+
+func TestValidatorRequestForUndetected(t *testing.T) {
+	v := NewValidator()
+	v.RequestSent(2, 0, 1, 0)
+	violationContains(t, v, "undetected")
+}
+
+func TestValidatorNonMonotonicRounds(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(100))
+	v.RequestSent(2, 0, 1, 1)
+	v.RequestSent(2, 0, 1, 1)
+	violationContains(t, v, "round")
+}
+
+func TestValidatorExpeditedReplyOverflow(t *testing.T) {
+	v := NewValidator()
+	v.ReplySent(4, 0, 7, true)
+	violationContains(t, v, "expedited replies")
+}
+
+func TestValidatorClockMonotonicPerHost(t *testing.T) {
+	v := NewValidator()
+	v.LossDetected(2, 0, 1, at(300))
+	v.LossDetected(2, 0, 2, at(200))
+	violationContains(t, v, "before previous event")
+}
+
+func TestValidatorErrNilWhenClean(t *testing.T) {
+	v := NewValidator()
+	if v.Err() != nil {
+		t.Fatal("fresh validator has error")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := New(), New()
+	tee := Tee{a, b}
+	tee.LossDetected(2, 0, 1, at(0))
+	tee.Recovered(2, 0, 1, at(100), srm.RecoveryInfo{})
+	tee.RequestSent(2, 0, 1, 0)
+	tee.ExpRequestSent(2, 0, 2)
+	tee.ReplySent(3, 0, 1, false)
+	tee.SessionSent(3)
+	for i, c := range []*Collector{a, b} {
+		if len(c.Recoveries()) != 1 {
+			t.Fatalf("collector %d missed recovery", i)
+		}
+		tot := c.TotalCounts()
+		if tot.Requests != 1 || tot.ExpRequests != 1 || tot.Replies != 1 || tot.Sessions != 1 {
+			t.Fatalf("collector %d totals = %+v", i, tot)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"fmt"
+
+	"cesrm/internal/sim"
+)
+
+// GenSpec parameterizes random tree generation. Receivers become the
+// tree's leaves; Depth is the exact maximum root-to-leaf link count.
+type GenSpec struct {
+	// Receivers is the number of leaf hosts; must be >= 1.
+	Receivers int
+	// Depth is the exact depth of the deepest receiver; must be >= 2 so
+	// that at least one router sits between source and receivers.
+	Depth int
+	// Branch is the probability of growing a fresh router under a random
+	// existing router while there are receivers left to place. Zero
+	// selects the default of 0.4.
+	Branch float64
+}
+
+// Generate builds a random multicast tree matching spec. The same RNG
+// state always yields the same tree. The resulting tree satisfies:
+// leaves are exactly the receivers, the deepest receiver sits at exactly
+// spec.Depth links from the source, and every router has at least one
+// descendant receiver.
+func Generate(rng *sim.RNG, spec GenSpec) (*Tree, error) {
+	if spec.Receivers < 1 {
+		return nil, fmt.Errorf("topology: invalid receiver count %d", spec.Receivers)
+	}
+	if spec.Depth < 2 {
+		return nil, fmt.Errorf("topology: invalid depth %d (need >= 2)", spec.Depth)
+	}
+	branch := spec.Branch
+	if branch == 0 {
+		branch = 0.4
+	}
+
+	// Node 0 is the source. Build a router backbone of spec.Depth-1
+	// routers so the deepest receiver lands exactly at spec.Depth.
+	parents := []NodeID{None}
+	routerDepth := []int{0} // depth per node in parents; receivers tracked separately
+	routers := []NodeID{0}  // candidate attachment points (includes source)
+	for d := 1; d < spec.Depth; d++ {
+		id := NodeID(len(parents))
+		parents = append(parents, routers[len(routers)-1])
+		routerDepth = append(routerDepth, d)
+		routers = append(routers, id)
+	}
+	deepest := routers[len(routers)-1]
+
+	// First receiver hangs off the deepest backbone router, pinning the
+	// tree's depth.
+	receiverParents := []NodeID{deepest}
+
+	// Place remaining receivers, occasionally growing new routers to
+	// diversify the shape. New routers never exceed depth spec.Depth-1 so
+	// their receivers stay within spec.Depth.
+	for placed := 1; placed < spec.Receivers; placed++ {
+		if rng.Float64() < branch {
+			// Grow a router under a random router shallower than the
+			// backbone floor.
+			var shallow []int
+			for i, r := range routers {
+				_ = r
+				if routerDepth[routers[i]] < spec.Depth-1 {
+					shallow = append(shallow, i)
+				}
+			}
+			if len(shallow) > 0 {
+				pi := routers[shallow[rng.Intn(len(shallow))]]
+				id := NodeID(len(parents))
+				parents = append(parents, pi)
+				routerDepth = append(routerDepth, routerDepth[pi]+1)
+				routers = append(routers, id)
+			}
+		}
+		// Attach the receiver to a random router other than the source
+		// when possible (receivers directly under the source would make
+		// depth-1 leaves, which the MBone traces do not exhibit).
+		candidates := routers[1:]
+		p := candidates[rng.Intn(len(candidates))]
+		receiverParents = append(receiverParents, p)
+	}
+
+	// Materialize receivers after routers so router IDs are contiguous.
+	full := make([]NodeID, 0, len(parents)+len(receiverParents))
+	full = append(full, parents...)
+	for _, p := range receiverParents {
+		full = append(full, p)
+	}
+
+	// Drop routers with no descendant receivers: they would be childless
+	// leaves, which New would misclassify as receivers. Iterate until
+	// fixpoint since removing one router can orphan its parent.
+	for {
+		hasChild := make([]bool, len(full))
+		for i, p := range full {
+			_ = i
+			if p != None {
+				hasChild[p] = true
+			}
+		}
+		removed := false
+		keep := make([]bool, len(full))
+		for i := range full {
+			isRouter := i < len(parents)
+			if isRouter && i != 0 && !hasChild[i] {
+				removed = true
+				continue
+			}
+			keep[i] = true
+		}
+		if !removed {
+			break
+		}
+		remap := make([]NodeID, len(full))
+		next := NodeID(0)
+		for i := range full {
+			if keep[i] {
+				remap[i] = next
+				next++
+			} else {
+				remap[i] = None
+			}
+		}
+		compact := make([]NodeID, 0, int(next))
+		newRouterCount := 0
+		for i, p := range full {
+			if !keep[i] {
+				continue
+			}
+			if p == None {
+				compact = append(compact, None)
+			} else {
+				compact = append(compact, remap[p])
+			}
+			if i < len(parents) {
+				newRouterCount++
+			}
+		}
+		full = compact
+		parents = parents[:newRouterCount] // only the length matters below
+	}
+
+	return New(full)
+}
+
+// MustGenerate is Generate panicking on error, for static catalogs whose
+// specs are known valid.
+func MustGenerate(rng *sim.RNG, spec GenSpec) *Tree {
+	t, err := Generate(rng, spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+// The on-disk trace format is a line-oriented text format:
+//
+//	cesrm-trace v1
+//	name <name>
+//	period <duration>
+//	packets <n>
+//	tree <parent parent ...>        (-1 marks the root)
+//	recv <rle>                      (one line per receiver, tree order)
+//	end
+//
+// Loss sequences are run-length encoded as alternating run lengths
+// starting with a received (0) run: "100 3 42 1" means 100 received,
+// 3 lost, 42 received, 1 lost. Ground-truth drop links are not
+// serialized; they are a property of synthetic generation only.
+
+// Marshal writes t to w in the text format.
+func Marshal(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "cesrm-trace v1")
+	fmt.Fprintf(bw, "name %s\n", t.Name)
+	fmt.Fprintf(bw, "period %s\n", t.Period)
+	fmt.Fprintf(bw, "packets %d\n", t.NumPackets())
+	bw.WriteString("tree")
+	for _, p := range t.Tree.ParentVector() {
+		fmt.Fprintf(bw, " %d", p)
+	}
+	bw.WriteByte('\n')
+	for _, row := range t.Loss {
+		bw.WriteString("recv")
+		for _, run := range rleEncode(row) {
+			fmt.Fprintf(bw, " %d", run)
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Unmarshal parses a trace in the text format.
+func Unmarshal(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if hdr != "cesrm-trace v1" {
+		return nil, fmt.Errorf("trace: bad header %q", hdr)
+	}
+	t := &Trace{}
+	packets := -1
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, err
+		}
+		if l == "end" {
+			break
+		}
+		field, rest, _ := strings.Cut(l, " ")
+		switch field {
+		case "name":
+			t.Name = rest
+		case "period":
+			p, err := time.ParseDuration(rest)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad period: %w", err)
+			}
+			t.Period = p
+		case "packets":
+			packets, err = strconv.Atoi(rest)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad packet count: %w", err)
+			}
+		case "tree":
+			parents, err := parseInts(rest)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad tree: %w", err)
+			}
+			pv := make([]topology.NodeID, len(parents))
+			for i, p := range parents {
+				pv[i] = topology.NodeID(p)
+			}
+			tree, err := topology.New(pv)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			t.Tree = tree
+		case "recv":
+			if packets < 0 {
+				return nil, fmt.Errorf("trace: recv line before packets line")
+			}
+			runs, err := parseInts(rest)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad recv line: %w", err)
+			}
+			row, err := rleDecode(runs, packets)
+			if err != nil {
+				return nil, err
+			}
+			t.Loss = append(t.Loss, row)
+		default:
+			return nil, fmt.Errorf("trace: unknown field %q", field)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	fields := strings.Fields(s)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// rleEncode encodes a bool row as alternating run lengths starting with
+// a false (received) run; a leading zero appears when the row starts
+// with a loss.
+func rleEncode(row []bool) []int {
+	var runs []int
+	cur := false
+	run := 0
+	for _, v := range row {
+		if v == cur {
+			run++
+			continue
+		}
+		runs = append(runs, run)
+		cur = v
+		run = 1
+	}
+	runs = append(runs, run)
+	return runs
+}
+
+// rleDecode reverses rleEncode, checking the total length.
+func rleDecode(runs []int, packets int) ([]bool, error) {
+	row := make([]bool, 0, packets)
+	cur := false
+	for _, run := range runs {
+		if run < 0 {
+			return nil, fmt.Errorf("trace: negative run length %d", run)
+		}
+		for i := 0; i < run; i++ {
+			row = append(row, cur)
+		}
+		cur = !cur
+	}
+	if len(row) != packets {
+		return nil, fmt.Errorf("trace: run lengths sum to %d, want %d packets", len(row), packets)
+	}
+	return row, nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	orig := tinyTrace(t)
+	var buf bytes.Buffer
+	if err := Marshal(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Period != orig.Period {
+		t.Fatalf("metadata changed: %q %v", got.Name, got.Period)
+	}
+	if got.NumPackets() != orig.NumPackets() || got.NumReceivers() != orig.NumReceivers() {
+		t.Fatal("shape changed")
+	}
+	for r := range orig.Loss {
+		for i := range orig.Loss[r] {
+			if got.Loss[r][i] != orig.Loss[r][i] {
+				t.Fatalf("loss[%d][%d] changed", r, i)
+			}
+		}
+	}
+	pv := got.Tree.ParentVector()
+	for i, p := range orig.Tree.ParentVector() {
+		if pv[i] != p {
+			t.Fatal("tree changed")
+		}
+	}
+}
+
+func TestRoundTripGeneratedTrace(t *testing.T) {
+	tr := MustGenerate(GenSpec{
+		Name:         "roundtrip",
+		Topology:     topology.GenSpec{Receivers: 9, Depth: 4},
+		NumPackets:   3000,
+		Period:       40 * time.Millisecond,
+		TargetLosses: 900,
+		Seed:         11,
+	})
+	var buf bytes.Buffer
+	if err := Marshal(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalLosses() != tr.TotalLosses() {
+		t.Fatalf("losses %d != %d", got.TotalLosses(), tr.TotalLosses())
+	}
+	if got.MeanBurstLength() != tr.MeanBurstLength() {
+		t.Fatal("burst structure changed by round trip")
+	}
+}
+
+func TestUnmarshalRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "not-a-trace\n",
+		"truncated":     "cesrm-trace v1\nname x\n",
+		"bad period":    "cesrm-trace v1\nname x\nperiod nope\nend\n",
+		"bad packets":   "cesrm-trace v1\npackets ten\nend\n",
+		"bad tree":      "cesrm-trace v1\ntree 0 0\nend\n",
+		"tree garbage":  "cesrm-trace v1\ntree a b\nend\n",
+		"early recv":    "cesrm-trace v1\nrecv 5\nend\n",
+		"unknown field": "cesrm-trace v1\nbogus 1\nend\n",
+		"short rle":     "cesrm-trace v1\nname x\nperiod 80ms\npackets 4\ntree -1 0 1 1\nrecv 2\nrecv 4\nend\n",
+		"negative rle":  "cesrm-trace v1\nname x\nperiod 80ms\npackets 4\ntree -1 0 1 1\nrecv -4\nrecv 4\nend\n",
+	}
+	for name, in := range cases {
+		if _, err := Unmarshal(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsInvalidTrace(t *testing.T) {
+	tr := tinyTrace(t)
+	tr.Period = 0
+	var buf bytes.Buffer
+	if err := Marshal(&buf, tr); err == nil {
+		t.Fatal("marshalled invalid trace")
+	}
+}
+
+func TestPropertyRLERoundTrip(t *testing.T) {
+	f := func(row []bool) bool {
+		if len(row) == 0 {
+			return true
+		}
+		got, err := rleDecode(rleEncode(row), len(row))
+		if err != nil {
+			return false
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLELeadingLoss(t *testing.T) {
+	row := []bool{true, true, false}
+	runs := rleEncode(row)
+	if runs[0] != 0 {
+		t.Fatalf("leading-loss row must start with zero run, got %v", runs)
+	}
+	got, err := rleDecode(runs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if got[i] != row[i] {
+			t.Fatal("leading-loss round trip failed")
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// GenSpec parameterizes synthetic trace generation.
+//
+// Losses are produced by independent per-link Gilbert (two-state Markov)
+// processes: each link alternates between a good state (no loss) and a
+// bad state (loss), giving bursty, temporally correlated loss — the
+// packet-loss locality that Yajnik et al. measured on the MBone and that
+// CESRM exploits. Spatial locality follows from the tree: one bad link
+// produces correlated losses at every receiver below it.
+type GenSpec struct {
+	// Name labels the resulting trace.
+	Name string
+	// Topology shapes the random dissemination tree.
+	Topology topology.GenSpec
+	// NumPackets is the number of packets the source transmits.
+	NumPackets int
+	// Period is the constant transmission interval.
+	Period time.Duration
+	// TargetLosses is the desired aggregate loss count across all
+	// receivers; per-link loss rates are calibrated so the expected
+	// total matches it. The realized count fluctuates around the target.
+	TargetLosses int
+	// MeanBurstLen is the mean number of consecutive packets a link
+	// drops once it enters the bad state. Zero selects the default of 8.
+	MeanBurstLen float64
+	// LossyLinkFraction is the probability a link is drawn from the
+	// high-loss weight band (zero selects the default of 0.35); the MBone
+	// traces concentrate loss on a few consistently bad links.
+	LossyLinkFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// gilbertChain is one link's two-state Markov loss process.
+type gilbertChain struct {
+	pGB float64 // P(good -> bad)
+	pBG float64 // P(bad -> good)
+	bad bool
+}
+
+func (g *gilbertChain) step(rng *sim.RNG) bool {
+	if g.bad {
+		if rng.Float64() < g.pBG {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.pGB {
+			g.bad = true
+		}
+	}
+	return g.bad
+}
+
+// maxReceivers bounds receiver counts so loss patterns fit in a uint64
+// bitmask (and keeps the §4.2 pattern enumeration tractable, as in the
+// 17-host MBone traces).
+const maxReceivers = 63
+
+// Generate builds a synthetic trace from spec. Generation is fully
+// deterministic in spec.Seed.
+func Generate(spec GenSpec) (*Trace, error) {
+	if spec.NumPackets <= 0 {
+		return nil, fmt.Errorf("trace: NumPackets = %d", spec.NumPackets)
+	}
+	if spec.Period <= 0 {
+		return nil, fmt.Errorf("trace: Period = %v", spec.Period)
+	}
+	if spec.Topology.Receivers > maxReceivers {
+		return nil, fmt.Errorf("trace: %d receivers exceeds maximum %d", spec.Topology.Receivers, maxReceivers)
+	}
+	if spec.TargetLosses < 0 || spec.TargetLosses > spec.NumPackets*spec.Topology.Receivers {
+		return nil, fmt.Errorf("trace: TargetLosses = %d out of range", spec.TargetLosses)
+	}
+	meanBurst := spec.MeanBurstLen
+	if meanBurst == 0 {
+		meanBurst = 8
+	}
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("trace: MeanBurstLen = %v (< 1)", meanBurst)
+	}
+	lossyFrac := spec.LossyLinkFraction
+	if lossyFrac == 0 {
+		lossyFrac = 0.35
+	}
+
+	rng := sim.NewRNG(spec.Seed)
+	treeRNG := rng.Split()
+	weightRNG := rng.Split()
+	chainRNG := rng.Split()
+
+	tree, err := topology.Generate(treeRNG, spec.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("trace: generating topology: %w", err)
+	}
+
+	// Per-link relative loss weights: a minority of links carry most of
+	// the loss, the rest are nearly clean.
+	links := tree.Links()
+	weight := make(map[topology.LinkID]float64, len(links))
+	for _, l := range links {
+		if weightRNG.Float64() < lossyFrac {
+			weight[l] = 0.5 + 0.5*weightRNG.Float64() // hot link
+		} else {
+			weight[l] = 0.01 + 0.09*weightRNG.Float64() // quiet link
+		}
+	}
+
+	// Calibrate the global scale alpha so the expected aggregate loss
+	// count matches the target:
+	//   E[losses] = sum_r N * (1 - prod_{l in path(s,r)} (1 - alpha*w_l))
+	// which is monotone increasing in alpha. Solve by bisection.
+	receivers := tree.Receivers()
+	paths := make([][]topology.LinkID, len(receivers))
+	for i, r := range receivers {
+		paths[i] = tree.PathLinks(tree.Root(), r)
+	}
+	maxW := 0.0
+	for _, w := range weight {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	expected := func(alpha float64) float64 {
+		total := 0.0
+		for _, path := range paths {
+			keep := 1.0
+			for _, l := range path {
+				keep *= 1 - alpha*weight[l]
+			}
+			total += 1 - keep
+		}
+		return total * float64(spec.NumPackets)
+	}
+	target := float64(spec.TargetLosses)
+	lo, hi := 0.0, 0.95/maxW
+	if expected(hi) < target {
+		return nil, fmt.Errorf("trace: target %d losses unreachable (max expected %.0f)", spec.TargetLosses, expected(hi))
+	}
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if expected(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	alpha := (lo + hi) / 2
+
+	// realize runs the per-link Gilbert chains at scale alpha and
+	// produces loss sequences plus ground truth. The chain RNG seed is
+	// fixed per attempt index so the calibration loop below converges
+	// smoothly rather than chasing fresh noise each pass.
+	realize := func(alpha float64, seed int64) ([][]bool, [][]topology.LinkID, int) {
+		crng := sim.NewRNG(seed)
+		chains := make(map[topology.LinkID]*gilbertChain, len(links))
+		for _, l := range links {
+			rate := alpha * weight[l]
+			if rate > 0.97 {
+				rate = 0.97
+			}
+			pBG := 1 / meanBurst
+			pGB := rate * pBG / (1 - rate)
+			chains[l] = &gilbertChain{pGB: pGB, pBG: pBG, bad: crng.Float64() < rate}
+		}
+		loss := make([][]bool, len(receivers))
+		for i := range loss {
+			loss[i] = make([]bool, spec.NumPackets)
+		}
+		total := 0
+		trueDrops := make([][]topology.LinkID, spec.NumPackets)
+		badNow := make(map[topology.LinkID]bool, len(links))
+		for pkt := 0; pkt < spec.NumPackets; pkt++ {
+			anyBad := false
+			for _, l := range links {
+				badNow[l] = chains[l].step(crng)
+				anyBad = anyBad || badNow[l]
+			}
+			if !anyBad {
+				continue
+			}
+			for ri, path := range paths {
+				for _, l := range path {
+					if badNow[l] {
+						loss[ri][pkt] = true
+						total++
+						break
+					}
+				}
+			}
+			// Minimal dropping links: bad links whose upstream path is
+			// clean (the packet actually reached and died on them).
+			var drops []topology.LinkID
+			for _, l := range links {
+				if !badNow[l] {
+					continue
+				}
+				clean := true
+				for p := tree.Parent(l); p != tree.Root() && p != topology.None; p = tree.Parent(p) {
+					if badNow[p] {
+						clean = false
+						break
+					}
+				}
+				if clean {
+					drops = append(drops, l)
+				}
+			}
+			trueDrops[pkt] = drops
+		}
+		return loss, trueDrops, total
+	}
+
+	// Burst processes realize with high variance, so refine alpha
+	// against the realized count. The realized count is a noisy,
+	// non-smooth function of alpha (bursts quantize coarsely), so a pure
+	// multiplicative update can oscillate; keep the best realization
+	// seen. Deterministic: the chain seed is fixed and the iteration
+	// count bounded.
+	chainSeed := chainRNG.Int63()
+	maxAlpha := 0.95 / maxW
+	relErr := func(r int) float64 {
+		return math.Abs(float64(r)-target) / math.Max(target, 1)
+	}
+	loss, trueDrops, realized := realize(alpha, chainSeed)
+	bestLoss, bestDrops, bestErr := loss, trueDrops, relErr(realized)
+	for iter := 0; iter < 12 && realized > 0 && bestErr > 0.05; iter++ {
+		adj := target / float64(realized)
+		// Damp the update: burst quantization makes full multiplicative
+		// steps overshoot.
+		alpha *= 1 + 0.7*(adj-1)
+		if alpha > maxAlpha {
+			alpha = maxAlpha
+		}
+		loss, trueDrops, realized = realize(alpha, chainSeed)
+		if e := relErr(realized); e < bestErr {
+			bestLoss, bestDrops, bestErr = loss, trueDrops, e
+		}
+	}
+	loss, trueDrops = bestLoss, bestDrops
+
+	tr := &Trace{
+		Name:      spec.Name,
+		Tree:      tree,
+		Period:    spec.Period,
+		Loss:      loss,
+		TrueDrops: trueDrops,
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// MustGenerate is Generate panicking on error, for the static catalog.
+func MustGenerate(spec GenSpec) *Trace {
+	t, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CalibrationError returns the relative deviation of the realized loss
+// count from the generation target, |realized-target|/target. It is a
+// generator-quality metric used by tests and the trace tool.
+func CalibrationError(t *Trace, target int) float64 {
+	if target == 0 {
+		return 0
+	}
+	return math.Abs(float64(t.TotalLosses())-float64(target)) / float64(target)
+}

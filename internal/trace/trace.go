@@ -1,0 +1,188 @@
+// Package trace models IP multicast transmission traces in the style of
+// Yajnik et al. (GLOBECOM 1996), the data the paper's evaluation replays.
+//
+// A trace couples a static multicast tree with per-receiver binary loss
+// sequences: loss(r)(i) = 1 iff receiver r never received packet i from
+// the original transmission. The original MBone traces are not publicly
+// available, so this package also provides a calibrated synthetic
+// generator (see gilbert.go) and a catalog reproducing the shape of the
+// paper's Table 1 (see catalog.go).
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+// Trace is a single-source IP multicast transmission trace.
+type Trace struct {
+	// Name identifies the trace (e.g. "RFV960419").
+	Name string
+	// Tree is the static dissemination topology; its root is the source
+	// and its leaves are the receivers.
+	Tree *topology.Tree
+	// Period is the constant inter-packet transmission interval.
+	Period time.Duration
+	// Loss holds per-receiver binary loss sequences, indexed
+	// [receiverIndex][packet], with receiver indices following
+	// Tree.Receivers() order.
+	Loss [][]bool
+	// TrueDrops optionally records, per packet, the ground-truth links
+	// that dropped the packet (minimal: links whose upstream path was
+	// loss-free). Synthetic traces carry it for validating the link
+	// inference of §4.2; it must never feed the simulation itself.
+	TrueDrops [][]topology.LinkID
+}
+
+// Validate checks internal consistency.
+func (t *Trace) Validate() error {
+	if t.Tree == nil {
+		return fmt.Errorf("trace %q: nil tree", t.Name)
+	}
+	if len(t.Loss) != t.Tree.NumReceivers() {
+		return fmt.Errorf("trace %q: %d loss rows for %d receivers", t.Name, len(t.Loss), t.Tree.NumReceivers())
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("trace %q: non-positive period %v", t.Name, t.Period)
+	}
+	n := -1
+	for i, row := range t.Loss {
+		if n == -1 {
+			n = len(row)
+		} else if len(row) != n {
+			return fmt.Errorf("trace %q: receiver %d has %d packets, others %d", t.Name, i, len(row), n)
+		}
+	}
+	if n <= 0 {
+		return fmt.Errorf("trace %q: no packets", t.Name)
+	}
+	if t.TrueDrops != nil && len(t.TrueDrops) != n {
+		return fmt.Errorf("trace %q: %d TrueDrops entries for %d packets", t.Name, len(t.TrueDrops), n)
+	}
+	return nil
+}
+
+// NumPackets returns the number of packets transmitted.
+func (t *Trace) NumPackets() int {
+	if len(t.Loss) == 0 {
+		return 0
+	}
+	return len(t.Loss[0])
+}
+
+// NumReceivers returns the receiver count.
+func (t *Trace) NumReceivers() int { return len(t.Loss) }
+
+// Duration returns the transmission duration, NumPackets * Period.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(t.NumPackets()) * t.Period
+}
+
+// Lost reports whether receiver index r lost packet i.
+func (t *Trace) Lost(r, i int) bool { return t.Loss[r][i] }
+
+// ReceiverIndex maps a receiver node to its row in Loss, or -1.
+func (t *Trace) ReceiverIndex(n topology.NodeID) int {
+	for i, r := range t.Tree.Receivers() {
+		if r == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalLosses returns the aggregate loss count across all receivers
+// (the "# of Losses" column of Table 1).
+func (t *Trace) TotalLosses() int {
+	total := 0
+	for _, row := range t.Loss {
+		for _, lost := range row {
+			if lost {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// ReceiverLosses returns the loss count of receiver index r.
+func (t *Trace) ReceiverLosses(r int) int {
+	n := 0
+	for _, lost := range t.Loss[r] {
+		if lost {
+			n++
+		}
+	}
+	return n
+}
+
+// LossPattern returns the set of receiver indices that lost packet i,
+// encoded as a bitmask (receiver counts in the catalog are <= 17, and
+// the package rejects trees with more than 63 receivers at generation
+// time). A zero pattern means nobody lost the packet.
+func (t *Trace) LossPattern(i int) uint64 {
+	var p uint64
+	for r := range t.Loss {
+		if t.Loss[r][i] {
+			p |= 1 << uint(r)
+		}
+	}
+	return p
+}
+
+// Stats summarizes a trace for Table 1 style reporting.
+type Stats struct {
+	Name      string
+	Receivers int
+	TreeDepth int
+	Period    time.Duration
+	Duration  time.Duration
+	Packets   int
+	Losses    int
+}
+
+// ComputeStats derives the Table 1 row for the trace.
+func (t *Trace) ComputeStats() Stats {
+	return Stats{
+		Name:      t.Name,
+		Receivers: t.NumReceivers(),
+		TreeDepth: t.Tree.MaxDepth(),
+		Period:    t.Period,
+		Duration:  t.Duration(),
+		Packets:   t.NumPackets(),
+		Losses:    t.TotalLosses(),
+	}
+}
+
+// String formats the stats as a Table 1 style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s rcvrs=%-3d depth=%d period=%v dur=%v pkts=%d losses=%d",
+		s.Name, s.Receivers, s.TreeDepth, s.Period, s.Duration.Round(time.Second), s.Packets, s.Losses)
+}
+
+// MeanBurstLength returns the average length of consecutive-loss runs
+// across all receivers, a direct measure of the temporal loss locality
+// CESRM exploits. Returns 0 when the trace has no losses.
+func (t *Trace) MeanBurstLength() float64 {
+	bursts, lost := 0, 0
+	for _, row := range t.Loss {
+		in := false
+		for _, l := range row {
+			if l {
+				lost++
+				if !in {
+					bursts++
+					in = true
+				}
+			} else {
+				in = false
+			}
+		}
+	}
+	if bursts == 0 {
+		return 0
+	}
+	return float64(lost) / float64(bursts)
+}
