@@ -235,6 +235,16 @@ type Recovery = stats.Recovery
 // NewCollector returns an empty metrics collector.
 func NewCollector() *Collector { return stats.New() }
 
+// ProtocolEvent is one entry of a run's ordered protocol-event stream
+// (see RunResult.Events).
+type ProtocolEvent = stats.Event
+
+// WriteEventsNDJSON writes a protocol-event stream as newline-delimited
+// JSON, one object per event — a run's debugging timeline.
+func WriteEventsNDJSON(w io.Writer, events []ProtocolEvent) error {
+	return stats.WriteEventsNDJSON(w, events)
+}
+
 // ---- Evaluation harness ----
 
 // Protocol selects SRM or CESRM for a run.
@@ -270,3 +280,10 @@ func Run(cfg RunConfig) (*RunResult, error) { return experiment.Run(cfg) }
 
 // RunPair reenacts a trace under both protocols.
 func RunPair(t *Trace, cfg PairConfig) (*Pair, error) { return experiment.RunPair(t, cfg) }
+
+// VerifyDeterminism runs cfg once, reruns it extra more times, and
+// fails if any rerun's RunResult.Fingerprint diverges from the first —
+// the determinism audit behind `cesrm-sim -verify-determinism`.
+func VerifyDeterminism(cfg RunConfig, extra int) (*RunResult, error) {
+	return experiment.VerifyDeterminism(cfg, extra)
+}

@@ -37,6 +37,25 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if _, ok := pair.ExpeditedSuccess(); !ok {
 		t.Fatal("no expedited statistics")
 	}
+	if pair.SRM.Fingerprint == "" || pair.SRM.Fingerprint == pair.CESRM.Fingerprint {
+		t.Fatalf("bad fingerprints: SRM %q CESRM %q", pair.SRM.Fingerprint, pair.CESRM.Fingerprint)
+	}
+
+	// The determinism audit and the event timeline, via the facade.
+	res, err := cesrm.VerifyDeterminism(cesrm.RunConfig{Trace: tr, Protocol: cesrm.CESRM, Seed: 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != pair.CESRM.Fingerprint {
+		t.Fatal("audit run's fingerprint differs from the pair's CESRM run")
+	}
+	var buf bytes.Buffer
+	if err := cesrm.WriteEventsNDJSON(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty event timeline")
+	}
 }
 
 func TestPublicAPITraceRoundTrip(t *testing.T) {

@@ -6,13 +6,21 @@
 //
 //	cesrm-bench [-scale 0.1] [-seed 1] [-traces 1,4,7] [-section all]
 //	            [-delay 20ms] [-lossy] [-policy most-recent] [-router-assist]
+//	            [-json BENCH_seed1.json]
 //
 // At -scale 1 the full Table 1 packet volumes are simulated (hundreds of
 // thousands of packets per trace); smaller scales shrink volumes
 // proportionally while preserving loss rates and burst structure.
+//
+// -json writes a machine-readable summary — per-trace determinism
+// fingerprints plus the headline metrics — so BENCH_*.json files taken
+// on different code revisions can be diffed: identical fingerprints
+// prove a change behavior-preserving, diverging metrics quantify what
+// moved.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,62 @@ import (
 	"cesrm/internal/netsim"
 )
 
+// benchJSON is the -json output schema.
+type benchJSON struct {
+	Scale       float64          `json:"scale"`
+	Seed        int64            `json:"seed"`
+	Fingerprint string           `json:"fingerprint_version"`
+	Traces      []benchTraceJSON `json:"traces"`
+}
+
+type benchTraceJSON struct {
+	Index               int     `json:"index"`
+	Name                string  `json:"name"`
+	SRMFingerprint      string  `json:"srm_fingerprint"`
+	CESRMFingerprint    string  `json:"cesrm_fingerprint"`
+	SRMMeanRTT          float64 `json:"srm_mean_rtt"`
+	CESRMMeanRTT        float64 `json:"cesrm_mean_rtt"`
+	LatencyReductionPct float64 `json:"latency_reduction_pct"`
+	ExpeditedSuccessPct float64 `json:"expedited_success_pct"`
+	SRMFinishedAtNS     int64   `json:"srm_finished_at_ns"`
+	CESRMFinishedAtNS   int64   `json:"cesrm_finished_at_ns"`
+}
+
+func writeJSON(path string, scale float64, seed int64, results []experiment.SuiteResult) error {
+	out := benchJSON{
+		Scale:       scale,
+		Seed:        seed,
+		Fingerprint: fmt.Sprintf("v%d", experiment.FingerprintVersion),
+	}
+	for _, r := range results {
+		p := r.Pair
+		succ, _ := p.ExpeditedSuccess()
+		out.Traces = append(out.Traces, benchTraceJSON{
+			Index:               r.Entry.Index,
+			Name:                r.Entry.Name,
+			SRMFingerprint:      r.SRMFingerprint,
+			CESRMFingerprint:    r.CESRMFingerprint,
+			SRMMeanRTT:          p.SRM.Collector.OverallNormalized(p.SRM.RTT).MeanRTT,
+			CESRMMeanRTT:        p.CESRM.Collector.OverallNormalized(p.CESRM.RTT).MeanRTT,
+			LatencyReductionPct: p.LatencyReductionPct(),
+			ExpeditedSuccessPct: succ,
+			SRMFinishedAtNS:     int64(p.SRM.FinishedAt),
+			CESRMFinishedAtNS:   int64(p.CESRM.FinishedAt),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cesrm-bench:", err)
@@ -38,12 +102,13 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.1, "trace volume scale in (0,1]; 1 = full Table 1 volumes")
 	seed := fs.Int64("seed", 1, "base random seed")
 	traces := fs.String("traces", "", "comma-separated 1-based trace indices (default: all 14)")
-	section := fs.String("section", "all", "output section: all, table1, sec42, summary, fig1, fig2, fig3, fig4, fig5, fig1bars, fig5bars, compare")
+	section := fs.String("section", "all", "output section: all, table1, sec42, summary, fig1, fig2, fig3, fig4, fig5, fig1bars, fig5bars, compare, fingerprints")
 	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
 	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link loss rates")
 	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
 	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
+	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,8 +180,16 @@ func run(args []string) error {
 		experiment.RenderFigure5Bars(os.Stdout, results)
 	case "compare":
 		experiment.RenderComparison(os.Stdout, results, *seed)
+	case "fingerprints":
+		experiment.RenderFingerprints(os.Stdout, results)
 	default:
 		return fmt.Errorf("unknown section %q", *section)
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *scale, *seed, results); err != nil {
+			return err
+		}
 	}
 	return nil
 }

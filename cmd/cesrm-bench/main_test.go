@@ -1,9 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSections(t *testing.T) {
-	for _, section := range []string{"table1", "sec42", "summary", "fig1", "fig2", "fig3", "fig4", "fig5", "fig1bars", "fig5bars", "compare"} {
+	for _, section := range []string{"table1", "sec42", "summary", "fig1", "fig2", "fig3", "fig4", "fig5", "fig1bars", "fig5bars", "compare", "fingerprints"} {
 		err := run([]string{"-scale", "0.005", "-traces", "13", "-section", section})
 		if err != nil {
 			t.Fatalf("%s: %v", section, err)
@@ -29,6 +34,54 @@ func TestRunLossyAndRouterAssist(t *testing.T) {
 	err := run([]string{"-scale", "0.005", "-traces", "13", "-section", "summary", "-lossy", "-router-assist"})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesJSONSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	err := run([]string{"-scale", "0.005", "-traces", "13", "-section", "fingerprints", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if len(out.Traces) != 1 || out.Traces[0].Index != 13 {
+		t.Fatalf("summary traces = %+v, want exactly trace 13", out.Traces)
+	}
+	tr := out.Traces[0]
+	if tr.SRMFingerprint == "" || tr.CESRMFingerprint == "" {
+		t.Fatal("summary missing fingerprints")
+	}
+	if tr.SRMFingerprint == tr.CESRMFingerprint {
+		t.Fatal("SRM and CESRM runs share a fingerprint")
+	}
+	if tr.LatencyReductionPct <= 0 {
+		t.Fatalf("latency reduction %.1f%%, want positive", tr.LatencyReductionPct)
+	}
+
+	// The JSON summary must be reproducible: a second identical
+	// invocation yields identical fingerprints.
+	path2 := filepath.Join(t.TempDir(), "BENCH_test2.json")
+	if err := run([]string{"-scale", "0.005", "-traces", "13", "-section", "fingerprints", "-json", path2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 benchJSON
+	if err := json.Unmarshal(data2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Traces[0].SRMFingerprint != tr.SRMFingerprint ||
+		out2.Traces[0].CESRMFingerprint != tr.CESRMFingerprint {
+		t.Fatal("fingerprints diverged across identical invocations")
 	}
 }
 

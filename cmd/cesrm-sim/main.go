@@ -1,9 +1,15 @@
 // Command cesrm-sim runs a single trace-driven simulation of SRM or
 // CESRM and prints a detailed report: recovery latency distribution,
-// per-host traffic, expedited statistics and link-crossing overhead.
+// per-host traffic, expedited statistics, link-crossing overhead and
+// the run's determinism fingerprint.
 //
 // The trace is either a catalog entry (-trace WRN951216) or a file
 // produced by tracegen (-file path).
+//
+// -verify-determinism N reruns the configuration N extra times and
+// fails if any rerun's fingerprint diverges from the first — the
+// determinism audit. -events FILE dumps the ordered protocol-event
+// stream as NDJSON for timeline debugging.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"cesrm/internal/core"
 	"cesrm/internal/experiment"
 	"cesrm/internal/netsim"
+	"cesrm/internal/stats"
 	"cesrm/internal/trace"
 )
 
@@ -37,6 +44,8 @@ func run(args []string) error {
 	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
 	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link rates")
 	routerAssist := fs.Bool("router-assist", false, "enable router-assisted CESRM (§3.3)")
+	verifyDet := fs.Int("verify-determinism", 0, "rerun the config N extra times and fail on fingerprint divergence")
+	eventsFile := fs.String("events", "", "write the ordered protocol-event stream as NDJSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,17 +87,44 @@ func run(args []string) error {
 
 	netCfg := netsim.DefaultConfig()
 	netCfg.LinkDelay = *delay
-	res, err := experiment.Run(experiment.RunConfig{
+	cfg := experiment.RunConfig{
 		Trace:         tr,
 		Protocol:      proto,
 		Net:           netCfg,
 		CESRM:         core.Config{RouterAssist: *routerAssist},
 		LossyRecovery: *lossy,
 		Seed:          *seed,
-	})
-	if err != nil {
-		return err
 	}
+
+	var res *experiment.RunResult
+	if *verifyDet > 0 {
+		res, err = experiment.VerifyDeterminism(cfg, *verifyDet)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("determinism audit: %d reruns, all fingerprints match\n", *verifyDet)
+	} else {
+		res, err = experiment.Run(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		if err := stats.WriteEventsNDJSON(f, res.Events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("event timeline: %d events written to %s\n", len(res.Events), *eventsFile)
+	}
+
 	report(tr, proto, res)
 	return nil
 }
@@ -97,8 +133,9 @@ func report(tr *trace.Trace, proto experiment.Protocol, res *experiment.RunResul
 	st := tr.ComputeStats()
 	fmt.Printf("trace %s: %d receivers, depth %d, %d packets, %d losses (burst len %.1f)\n",
 		st.Name, st.Receivers, st.TreeDepth, st.Packets, st.Losses, tr.MeanBurstLength())
-	fmt.Printf("protocol %s: finished at %v (inference confidence@95%% = %.1f%%)\n\n",
+	fmt.Printf("protocol %s: finished at %v (inference confidence@95%% = %.1f%%)\n",
 		proto, res.FinishedAt, 100*res.InferenceConfidence95)
+	fmt.Printf("fingerprint: %s\n\n", res.Fingerprint)
 
 	all := res.Collector.OverallNormalized(res.RTT)
 	fr := res.Collector.FirstRoundNormalized(res.RTT)

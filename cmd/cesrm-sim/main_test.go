@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -49,6 +51,37 @@ func TestRunFromFile(t *testing.T) {
 	f.Close()
 	if err := run([]string{"-file", path}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunVerifyDeterminism(t *testing.T) {
+	err := run([]string{"-trace", "WRN951216", "-scale", "0.005", "-verify-determinism", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEventsNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := run([]string{"-trace", "WRN951216", "-scale", "0.005", "-events", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("event dump has %d lines, expected a substantial timeline", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if _, ok := m["kind"]; !ok {
+			t.Fatalf("line %d has no kind field: %s", i, line)
+		}
 	}
 }
 

@@ -135,6 +135,96 @@ func TestMostFrequentPair(t *testing.T) {
 	}
 }
 
+func TestCacheUpdateTieKeepsExistingTuple(t *testing.T) {
+	// Equal recovery delay must not displace the stored tuple: Update
+	// replaces only on a strictly smaller delay, so re-observations of
+	// an equally good pair leave the cache (and its Pair statistics)
+	// untouched.
+	c, _ := NewCache(4)
+	first := tup(7, 1, 2, 40*time.Millisecond, 30*time.Millisecond)  // delay 100ms
+	second := tup(7, 3, 4, 60*time.Millisecond, 20*time.Millisecond) // delay 100ms too
+	c.Update(first)
+	if c.Update(second) {
+		t.Fatal("equal-delay tuple reported as a change")
+	}
+	if got, _ := c.Get(7); got != first {
+		t.Fatalf("cached %+v after tie, want the original %+v", got, first)
+	}
+}
+
+func TestCacheInsertBetweenOldestAndNewestWhenFull(t *testing.T) {
+	// A packet less recent than the newest but more recent than the
+	// oldest still enters a full cache, evicting the oldest.
+	c, _ := NewCache(3)
+	c.Update(tup(2, 1, 2, time.Millisecond, time.Millisecond))
+	c.Update(tup(6, 1, 2, time.Millisecond, time.Millisecond))
+	c.Update(tup(9, 1, 2, time.Millisecond, time.Millisecond))
+	if !c.Update(tup(4, 1, 2, time.Millisecond, time.Millisecond)) {
+		t.Fatal("mid-recency tuple rejected from full cache")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("oldest packet survived eviction")
+	}
+	for _, seq := range []int{4, 6, 9} {
+		if _, ok := c.Get(seq); !ok {
+			t.Fatalf("packet %d missing after insert-with-eviction", seq)
+		}
+	}
+}
+
+func TestCacheInsertBelowOldestWhenFullUpdatesInPlace(t *testing.T) {
+	// Insert-below-oldest is discarded when full — but an update to an
+	// already-cached packet with the oldest seq must still go through
+	// the replace-if-better path, not the eviction path.
+	c, _ := NewCache(2)
+	c.Update(tup(5, 1, 2, 100*time.Millisecond, 100*time.Millisecond))
+	c.Update(tup(9, 1, 2, time.Millisecond, time.Millisecond))
+	better := tup(5, 3, 4, 10*time.Millisecond, 10*time.Millisecond)
+	if !c.Update(better) {
+		t.Fatal("better tuple for cached oldest packet rejected")
+	}
+	if got, _ := c.Get(5); got != better {
+		t.Fatalf("cached %+v, want the improved tuple", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (in-place update must not evict)", c.Len())
+	}
+}
+
+func TestMostFrequentPairTieBreaksTowardRecentPacket(t *testing.T) {
+	// Two pairs tied on frequency: the winner is the pair owning the
+	// most recent cached packet, regardless of insertion order.
+	c, _ := NewCache(8)
+	c.Update(tup(1, 1, 2, time.Millisecond, time.Millisecond)) // pair A
+	c.Update(tup(3, 1, 2, time.Millisecond, time.Millisecond)) // pair A
+	c.Update(tup(2, 3, 4, time.Millisecond, time.Millisecond)) // pair B
+	c.Update(tup(9, 3, 4, time.Millisecond, time.Millisecond)) // pair B, newest overall
+	got, ok := c.MostFrequentPair()
+	if !ok || got.Pair() != (Pair{3, 4}) || got.Seq != 9 {
+		t.Fatalf("tie broke to %+v, want pair (3,4) at seq 9", got)
+	}
+}
+
+func TestMostFrequentPairFrequencyBeatsRecency(t *testing.T) {
+	// A strictly more frequent pair wins even when the most recent
+	// packet belongs to a rarer pair.
+	c, _ := NewCache(8)
+	c.Update(tup(1, 1, 2, time.Millisecond, time.Millisecond)) // pair A
+	c.Update(tup(2, 1, 2, time.Millisecond, time.Millisecond)) // pair A
+	c.Update(tup(3, 1, 2, time.Millisecond, time.Millisecond)) // pair A
+	c.Update(tup(9, 3, 4, time.Millisecond, time.Millisecond)) // pair B, newest
+	got, ok := c.MostFrequentPair()
+	if !ok || got.Pair() != (Pair{1, 2}) {
+		t.Fatalf("selected %+v, want the frequent pair (1,2)", got)
+	}
+	if got.Seq != 3 {
+		t.Fatalf("selected seq %d within the winning pair, want its most recent (3)", got.Seq)
+	}
+}
+
 func TestPolicies(t *testing.T) {
 	c, _ := NewCache(8)
 	c.Update(tup(1, 1, 2, time.Millisecond, time.Millisecond))

@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/stats"
+	"cesrm/internal/topology"
+)
+
+// FingerprintVersion is the current fingerprint format version. The
+// fingerprint string is "v<version>:<hex>" where <hex> is the first 16
+// bytes of a SHA-256 over the run's canonical digest input (see
+// computeFingerprint). Bump the version whenever the digest input
+// changes, so fingerprints from different formats never compare equal.
+const FingerprintVersion = 1
+
+// fpHasher accumulates the canonical digest. Every input is written
+// through fixed-width little-endian encodings, so the digest is a pure
+// function of the run's observable behavior — independent of platform,
+// process, and map iteration order.
+type fpHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newFPHasher() *fpHasher { return &fpHasher{h: sha256.New()} }
+
+func (f *fpHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(f.buf[:], v)
+	f.h.Write(f.buf[:])
+}
+
+func (f *fpHasher) i64(v int64)            { f.u64(uint64(v)) }
+func (f *fpHasher) f64(v float64)          { f.u64(math.Float64bits(v)) }
+func (f *fpHasher) node(n topology.NodeID) { f.i64(int64(n)) }
+
+func (f *fpHasher) boolean(b bool) {
+	if b {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+func (f *fpHasher) sum() string {
+	return fmt.Sprintf("v%d:%x", FingerprintVersion, f.h.Sum(nil)[:16])
+}
+
+// computeFingerprint digests a completed run into its determinism
+// fingerprint. The input covers, in a fixed canonical order:
+//
+//  1. the ordered protocol-event stream (the engine's dispatch order —
+//     any scheduling nondeterminism shows up here first),
+//  2. the link-crossing cost counters,
+//  3. the finish time,
+//  4. per-receiver recovery metrics, iterated in trace receiver order
+//     (never map order): loss counts, transmission counters, recovery
+//     counts and mean normalized latency.
+//
+// Two runs of the same RunConfig must produce byte-identical
+// fingerprints; a divergence is a determinism regression in the engine,
+// the protocols, or the runner.
+func computeFingerprint(events []stats.Event, crossings netsim.CrossingCounts,
+	finished sim.Time, receivers []topology.NodeID, col *stats.Collector, rtt stats.RTTFunc) string {
+
+	f := newFPHasher()
+
+	// Section 1: ordered event stream.
+	f.u64(uint64(len(events)))
+	for _, ev := range events {
+		f.u64(uint64(ev.Kind))
+		f.i64(int64(ev.At))
+		f.node(ev.Host)
+		f.node(ev.Source)
+		f.i64(int64(ev.Seq))
+		f.i64(int64(ev.Round))
+		f.boolean(ev.Expedited)
+		f.i64(int64(ev.OwnRequests))
+		f.i64(int64(ev.Reschedules))
+		f.node(ev.Requestor)
+		f.node(ev.Replier)
+	}
+
+	// Section 2: link-crossing counters.
+	f.u64(crossings.Data)
+	f.u64(crossings.Session)
+	f.u64(crossings.PayloadMulticast)
+	f.u64(crossings.PayloadSubcast)
+	f.u64(crossings.PayloadUnicast)
+	f.u64(crossings.ControlMulticast)
+	f.u64(crossings.ControlUnicast)
+
+	// Section 3: finish time.
+	f.i64(int64(finished))
+
+	// Section 4: per-receiver recovery metrics in trace order.
+	f.u64(uint64(len(receivers)))
+	for _, r := range receivers {
+		f.node(r)
+		f.i64(int64(col.Losses(r)))
+		hc := col.Counts(r)
+		f.i64(int64(hc.Requests))
+		f.i64(int64(hc.ExpRequests))
+		f.i64(int64(hc.Replies))
+		f.i64(int64(hc.ExpReplies))
+		f.i64(int64(hc.Sessions))
+		lat := col.NormalizedRecovery(r, rtt)
+		f.i64(int64(lat.Count))
+		f.f64(lat.MeanRTT)
+	}
+
+	return f.sum()
+}
+
+// VerifyDeterminism runs cfg once, then reruns it extra more times and
+// checks every rerun reproduces the first run's fingerprint. It returns
+// the first run's result; a fingerprint divergence (a determinism
+// regression) or any run failure is an error. extra < 1 is treated
+// as 1.
+func VerifyDeterminism(cfg RunConfig, extra int) (*RunResult, error) {
+	if extra < 1 {
+		extra = 1
+	}
+	base, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < extra; i++ {
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: determinism rerun %d/%d failed: %w", i+1, extra, err)
+		}
+		if r.Fingerprint != base.Fingerprint {
+			return nil, fmt.Errorf("experiment: determinism violation on rerun %d/%d: fingerprint %s != %s",
+				i+1, extra, r.Fingerprint, base.Fingerprint)
+		}
+	}
+	return base, nil
+}

@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cesrm/internal/core"
@@ -129,6 +130,16 @@ type RunResult struct {
 	// FinishedAt is the virtual time at which all losses had been
 	// recovered and the run quiesced.
 	FinishedAt sim.Time
+	// Fingerprint is the run's canonical determinism digest
+	// ("v1:<32 hex chars>"): a hash over the ordered protocol-event
+	// stream, the link-crossing counters, the finish time and the
+	// per-receiver recovery metrics. Two runs of the same RunConfig must
+	// produce identical fingerprints; see VerifyDeterminism.
+	Fingerprint string
+	// Events is the ordered protocol-event stream the fingerprint
+	// digests, usable as a debugging timeline
+	// (stats.WriteEventsNDJSON).
+	Events []stats.Event
 	// SpuriousExpedited counts expedited requests sent for packets the
 	// trace never lost — reordering mirages (only nonzero with Jitter
 	// and a REORDER-DELAY below the jitter magnitude).
@@ -158,6 +169,13 @@ type inspector interface {
 
 // crasher is the fail-stop surface every protocol endpoint shares.
 type crasher interface{ Crash() }
+
+// agentOrder, when non-nil, permutes the host order that drives per-host
+// RNG assignment and Stage 4 scheduling. It is a test seam that reenacts
+// the historical bug where Go map iteration fed event scheduling, letting
+// the determinism-audit tests prove the fingerprint catches order-
+// dependent runs. Production code leaves it nil (trace order).
+var agentOrder func([]topology.NodeID) []topology.NodeID
 
 // Run reenacts cfg.Trace under cfg.Protocol and returns the collected
 // metrics. The run is deterministic in cfg.
@@ -233,8 +251,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// metrics collector.
 	collector := stats.New()
 	validator := stats.NewValidator()
-	observer := stats.Tee{collector, validator}
+	recorder := stats.NewRecorder(eng.Now)
+	observer := stats.Tee{collector, validator, recorder}
 	hosts := append([]topology.NodeID{source}, tree.Receivers()...)
+	if agentOrder != nil {
+		hosts = agentOrder(hosts)
+	}
 	agents := make(map[topology.NodeID]agent, len(hosts))
 	inspectors := make(map[topology.NodeID]inspector, len(hosts))
 	var fabric *lms.Fabric
@@ -288,11 +310,19 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 
 	// Stage 4: schedule session start, data transmission, crashes, and
-	// the completion monitor.
-	for _, a := range agents {
-		a.StartSessions()
+	// the completion monitor. Scheduling assigns the engine's FIFO
+	// tie-breaker sequence numbers, so every loop here must iterate in a
+	// deterministic order — the ordered hosts slice and sorted crash
+	// hosts, never a map.
+	for _, id := range hosts {
+		agents[id].StartSessions()
 	}
-	for h, at := range cfg.Crashes {
+	crashHosts := make([]topology.NodeID, 0, len(cfg.Crashes))
+	for h := range cfg.Crashes {
+		crashHosts = append(crashHosts, h)
+	}
+	sort.Slice(crashHosts, func(i, j int) bool { return crashHosts[i] < crashHosts[j] })
+	for _, h := range crashHosts {
 		if h == source {
 			return nil, fmt.Errorf("experiment: cannot crash the source")
 		}
@@ -300,7 +330,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiment: host %d is not crashable", h)
 		}
-		eng.ScheduleAt(sim.Time(at), func(sim.Time) { c.Crash() })
+		eng.ScheduleAt(sim.Time(cfg.Crashes[h]), func(sim.Time) { c.Crash() })
 	}
 	numPackets := tr.NumPackets()
 	srcAgent := agents[source]
@@ -329,15 +359,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	timedOut := false
 	monitor = func(now sim.Time) {
 		if complete() {
-			for _, a := range agents {
-				a.Stop()
+			for _, id := range hosts {
+				agents[id].Stop()
 			}
 			return
 		}
 		if now.After(deadline) {
 			timedOut = true
-			for _, a := range agents {
-				a.Stop()
+			for _, id := range hosts {
+				agents[id].Stop()
 			}
 			eng.Stop()
 			return
@@ -388,6 +418,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 	}
 
+	rtt := func(h topology.NodeID) time.Duration {
+		return net.RTT(h, source)
+	}
+	receivers := tree.Receivers()
 	return &RunResult{
 		Config:                cfg,
 		Collector:             collector,
@@ -396,9 +430,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		InferredRates:         rates,
 		InferenceConfidence95: inferred.Confidence(0.95),
 		FinishedAt:            finished,
-		RTT: func(h topology.NodeID) time.Duration {
-			return net.RTT(h, source)
-		},
-		Receivers: tree.Receivers(),
+		Fingerprint: computeFingerprint(recorder.Events(), net.Counts(),
+			finished, receivers, collector, rtt),
+		Events:    recorder.Events(),
+		RTT:       rtt,
+		Receivers: receivers,
 	}, nil
 }

@@ -36,6 +36,11 @@ type Suite struct {
 type SuiteResult struct {
 	Entry trace.CatalogEntry
 	Pair  *Pair
+	// SRMFingerprint and CESRMFingerprint are the paired runs'
+	// determinism digests (see RunResult.Fingerprint), recorded here so
+	// suite output is comparable across processes and code revisions.
+	SRMFingerprint   string
+	CESRMFingerprint string
 }
 
 // Run executes the suite, optionally simulating traces concurrently
@@ -70,7 +75,12 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("experiment: trace %d (%s): %w", idx, entry.Name, err)
 		}
-		return SuiteResult{Entry: entry, Pair: pair}, nil
+		return SuiteResult{
+			Entry:            entry,
+			Pair:             pair,
+			SRMFingerprint:   pair.SRM.Fingerprint,
+			CESRMFingerprint: pair.CESRM.Fingerprint,
+		}, nil
 	}
 
 	out := make([]SuiteResult, len(selected))
@@ -242,11 +252,27 @@ func RenderSummary(w io.Writer, results []SuiteResult) {
 	tw.Flush()
 }
 
+// RenderFingerprints prints each trace's run fingerprints. Identical
+// configurations must print identical fingerprints across processes and
+// machines; comparing this section across code revisions proves a
+// change behavior-preserving.
+func RenderFingerprints(w io.Writer, results []SuiteResult) {
+	fmt.Fprintln(w, "Fingerprints: canonical determinism digests per run (stable across processes)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tTrace\tSRM\tCESRM")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n",
+			r.Entry.Index, r.Entry.Name, r.SRMFingerprint, r.CESRMFingerprint)
+	}
+	tw.Flush()
+}
+
 // RenderAll writes every table and figure to w.
 func RenderAll(w io.Writer, results []SuiteResult) {
 	sections := []func(io.Writer, []SuiteResult){
 		RenderTable1, RenderSec42, RenderSummary, RenderFigure1,
 		RenderFigure2, RenderFigure3, RenderFigure4, RenderFigure5,
+		RenderFingerprints,
 	}
 	for i, f := range sections {
 		if i > 0 {

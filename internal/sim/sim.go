@@ -97,6 +97,9 @@ type Engine struct {
 	// executed counts events that have been dispatched, for diagnostics
 	// and run-away detection in tests.
 	executed uint64
+	// dead counts cancelled events still occupying the queue; when they
+	// outnumber the live events the queue is compacted (see Cancel).
+	dead int
 }
 
 // NewEngine returns an engine positioned at virtual time zero with an
@@ -113,15 +116,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of live (non-cancelled) events in the queue.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
 // Timer identifies a scheduled event and allows cancelling it before it
 // fires. The zero Timer is invalid.
@@ -168,14 +163,50 @@ func (e *Engine) Schedule(delay Duration, fn Event) Timer {
 	return e.ScheduleAt(e.now.Add(delay), fn)
 }
 
+// compactThreshold is the minimum queue length before Cancel considers
+// compaction; below it the dead entries are too few to matter.
+const compactThreshold = 64
+
 // Cancel deactivates the timer. Cancelling an already-fired or
 // already-cancelled timer is a no-op, so callers can cancel defensively.
+// When cancelled entries come to outnumber live ones the queue is
+// compacted, so long runs that cancel many timers (suppression is
+// SRM's bread and butter) keep the heap proportional to the live load.
 func (e *Engine) Cancel(t Timer) {
 	if t.ev == nil || t.ev.dead {
 		return
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	if t.ev.pos >= 0 {
+		e.dead++
+		if e.dead > len(e.queue)/2 && len(e.queue) >= compactThreshold {
+			e.compact()
+		}
+	}
+}
+
+// compact rebuilds the queue without dead entries. Heap order is a pure
+// function of (at, seq), both immutable after scheduling, so compaction
+// cannot perturb dispatch order.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.dead {
+			ev.pos = -1
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.pos = i
+	}
+	heap.Init(&e.queue)
+	e.dead = 0
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -185,6 +216,7 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*scheduledEvent)
 		if ev.dead {
+			e.dead--
 			continue
 		}
 		e.now = ev.at
@@ -207,8 +239,11 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil executes events with instants not after the deadline. Events
-// scheduled later remain queued. The clock finishes at the deadline if
-// the queue was not exhausted earlier.
+// scheduled later remain queued. The clock finishes at the deadline
+// unless Stop was called, in which case it stays at the instant of the
+// last executed event — advancing a stopped engine past the stop point
+// would let a later resume schedule "before" events that logically
+// already happened.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for !e.stopped {
 		next, ok := e.peek()
@@ -217,7 +252,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.Step()
 	}
-	if e.now.Before(deadline) {
+	if !e.stopped && e.now.Before(deadline) {
 		e.now = deadline
 	}
 	return e.now
@@ -238,6 +273,7 @@ func (e *Engine) peek() (Time, bool) {
 			return ev.at, true
 		}
 		heap.Pop(&e.queue)
+		e.dead--
 	}
 	return 0, false
 }

@@ -336,6 +336,82 @@ func TestTimerAtReportsInstant(t *testing.T) {
 	}
 }
 
+func TestRunUntilStoppedKeepsClockAtStopPoint(t *testing.T) {
+	// Regression: RunUntil used to teleport the clock to the deadline
+	// even when Stop() fired mid-run, so a later resume could observe
+	// Now() past events that never executed.
+	e := NewEngine()
+	e.Schedule(time.Second, func(Time) { e.Stop() })
+	e.Schedule(2*time.Second, func(Time) {})
+	end := e.RunUntil(Time(10 * time.Second))
+	if end != Time(time.Second) {
+		t.Fatalf("clock at %v after mid-run Stop, want 1s (the stop point)", end)
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+}
+
+func TestCancelCompactsHeap(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i%97+1) * time.Millisecond
+		timers = append(timers, e.Schedule(d, func(Time) {}))
+	}
+	// Cancel all but every tenth timer; dead entries must not linger.
+	for i, tm := range timers {
+		if i%10 != 0 {
+			e.Cancel(tm)
+		}
+	}
+	if got, want := e.Pending(), n/10; got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	if len(e.queue) > n/5 {
+		t.Fatalf("heap holds %d entries after mass cancel, want compaction below %d", len(e.queue), n/5)
+	}
+	// The surviving events must still dispatch in time order, completely.
+	var last Time
+	steps := 0
+	for e.Step() {
+		if e.Now().Before(last) {
+			t.Fatal("compaction perturbed dispatch order")
+		}
+		last = e.Now()
+		steps++
+	}
+	if steps != n/10 {
+		t.Fatalf("dispatched %d events, want %d", steps, n/10)
+	}
+}
+
+func TestCompactionPreservesFIFOWithinInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var doomed []Timer
+	// Interleave keepers and cancellations at the same instant so a
+	// compaction rebuild between them would expose any tie-break damage.
+	for i := 0; i < 200; i++ {
+		i := i
+		e.Schedule(time.Second, func(Time) { got = append(got, i) })
+		doomed = append(doomed, e.Schedule(time.Second, func(Time) { t.Error("cancelled event fired") }))
+	}
+	for _, tm := range doomed {
+		e.Cancel(tm)
+	}
+	e.Run()
+	if len(got) != 200 {
+		t.Fatalf("ran %d events, want 200", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order broken after compaction: got[%d] = %d", i, v)
+		}
+	}
+}
+
 func TestRunUntilAfterStopIsNoop(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(time.Second, func(Time) { e.Stop() })

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// EventKind discriminates the protocol events a Recorder captures.
+type EventKind uint8
+
+const (
+	// EventLossDetected records a receiver first classifying a packet as
+	// lost.
+	EventLossDetected EventKind = iota + 1
+	// EventRecovered records a lost packet finally arriving.
+	EventRecovered
+	// EventRequestSent records a multicast repair request.
+	EventRequestSent
+	// EventExpRequestSent records a unicast expedited request.
+	EventExpRequestSent
+	// EventReplySent records a repair reply (retransmission).
+	EventReplySent
+	// EventSessionSent records a session message.
+	EventSessionSent
+)
+
+// String returns the kind's stable NDJSON label.
+func (k EventKind) String() string {
+	switch k {
+	case EventLossDetected:
+		return "loss-detected"
+	case EventRecovered:
+		return "recovered"
+	case EventRequestSent:
+		return "request"
+	case EventExpRequestSent:
+		return "exp-request"
+	case EventReplySent:
+		return "reply"
+	case EventSessionSent:
+		return "session"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the ordered protocol-event stream. The stream
+// order is the simulation engine's dispatch order, which a correct run
+// reproduces exactly; fingerprinting hashes the stream to detect
+// scheduling nondeterminism (see experiment.RunResult.Fingerprint).
+type Event struct {
+	// Kind discriminates which fields below are meaningful.
+	Kind EventKind
+	// At is the virtual instant of the event.
+	At sim.Time
+	// Host is the acting host; Source and Seq identify the packet
+	// (unused for EventSessionSent).
+	Host   topology.NodeID
+	Source topology.NodeID
+	Seq    int
+	// Round is the back-off exponent (EventRequestSent only).
+	Round int
+	// Expedited marks expedited replies and recoveries.
+	Expedited bool
+	// OwnRequests, Reschedules, Requestor and Replier carry the
+	// srm.RecoveryInfo of an EventRecovered.
+	OwnRequests int
+	Reschedules int
+	Requestor   topology.NodeID
+	Replier     topology.NodeID
+}
+
+// eventJSON is Event's NDJSON shape: a stable kind label, the instant
+// in nanoseconds, and every payload field. Fields the kind does not
+// populate are emitted as zero values rather than omitted — 0 is a
+// valid NodeID (the root) and a valid back-off round, so omission would
+// be ambiguous. Consumers filter by kind.
+type eventJSON struct {
+	Kind        string          `json:"kind"`
+	AtNS        int64           `json:"at_ns"`
+	Host        topology.NodeID `json:"host"`
+	Source      topology.NodeID `json:"source"`
+	Seq         int             `json:"seq"`
+	Round       int             `json:"round"`
+	Expedited   bool            `json:"expedited"`
+	OwnRequests int             `json:"own_requests"`
+	Reschedules int             `json:"reschedules"`
+	Requestor   topology.NodeID `json:"requestor"`
+	Replier     topology.NodeID `json:"replier"`
+}
+
+// WriteEventsNDJSON writes one JSON object per event, newline-delimited —
+// a run's debugging timeline, consumable by jq and friends.
+func WriteEventsNDJSON(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		j := eventJSON{
+			Kind:        ev.Kind.String(),
+			AtNS:        int64(ev.At),
+			Host:        ev.Host,
+			Source:      ev.Source,
+			Seq:         ev.Seq,
+			Round:       ev.Round,
+			Expedited:   ev.Expedited,
+			OwnRequests: ev.OwnRequests,
+			Reschedules: ev.Reschedules,
+			Requestor:   ev.Requestor,
+			Replier:     ev.Replier,
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recorder is an Observer that captures the ordered protocol-event
+// stream of a run. The experiment layer hashes the stream into the run
+// fingerprint and exposes it for NDJSON timeline dumps. The zero value
+// is not usable; construct with NewRecorder.
+type Recorder struct {
+	now    func() sim.Time
+	events []Event
+}
+
+// NewRecorder returns an empty recorder. now supplies the virtual clock
+// used to timestamp events whose observer callback carries no instant
+// (requests, replies, sessions); nil leaves those timestamps zero.
+func NewRecorder(now func() sim.Time) *Recorder {
+	return &Recorder{now: now}
+}
+
+var _ srm.Observer = (*Recorder)(nil)
+
+// Events returns the captured stream in dispatch order. The slice is
+// the recorder's backing store; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of captured events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteNDJSON writes the captured stream as NDJSON.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	return WriteEventsNDJSON(w, r.events)
+}
+
+func (r *Recorder) clock() sim.Time {
+	if r.now == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// LossDetected implements srm.Observer.
+func (r *Recorder) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
+	r.events = append(r.events, Event{Kind: EventLossDetected, At: at, Host: host, Source: source, Seq: seq})
+}
+
+// Recovered implements srm.Observer.
+func (r *Recorder) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	r.events = append(r.events, Event{
+		Kind: EventRecovered, At: at, Host: host, Source: source, Seq: seq,
+		Expedited: info.Expedited, OwnRequests: info.OwnRequests, Reschedules: info.Reschedules,
+		Requestor: info.Requestor, Replier: info.Replier,
+	})
+}
+
+// RequestSent implements srm.Observer.
+func (r *Recorder) RequestSent(host, source topology.NodeID, seq int, round int) {
+	r.events = append(r.events, Event{Kind: EventRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq, Round: round})
+}
+
+// ExpRequestSent implements srm.Observer.
+func (r *Recorder) ExpRequestSent(host, source topology.NodeID, seq int) {
+	r.events = append(r.events, Event{Kind: EventExpRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq})
+}
+
+// ReplySent implements srm.Observer.
+func (r *Recorder) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	r.events = append(r.events, Event{Kind: EventReplySent, At: r.clock(), Host: host, Source: source, Seq: seq, Expedited: expedited})
+}
+
+// SessionSent implements srm.Observer.
+func (r *Recorder) SessionSent(host topology.NodeID) {
+	r.events = append(r.events, Event{Kind: EventSessionSent, At: r.clock(), Host: host})
+}
