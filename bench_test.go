@@ -73,6 +73,22 @@ func oncePer(name string) *printOnce {
 	return p
 }
 
+// BenchmarkSuiteRun is the headline end-to-end benchmark: one full suite
+// pass (all 14 catalog traces simulated under both SRM and CESRM,
+// serially). Its ns/op and allocs/op are the numbers the committed
+// BENCH_*.json perf trajectory tracks; run with -benchmem to see both.
+// Unlike the figure benchmarks below, it does not reuse the shared
+// suite — every iteration simulates from scratch.
+func BenchmarkSuiteRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiment.Suite{Scale: benchScale(), Seed: 1}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1TraceCatalog regenerates Table 1: the 14-trace catalog
 // with source, receivers, depth, period, packet and loss counts.
 func BenchmarkTable1TraceCatalog(b *testing.B) {

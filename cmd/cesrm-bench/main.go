@@ -6,17 +6,21 @@
 //
 //	cesrm-bench [-scale 0.1] [-seed 1] [-traces 1,4,7] [-section all]
 //	            [-delay 20ms] [-lossy] [-policy most-recent] [-router-assist]
-//	            [-json BENCH_seed1.json]
+//	            [-json BENCH_seed1.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // At -scale 1 the full Table 1 packet volumes are simulated (hundreds of
 // thousands of packets per trace); smaller scales shrink volumes
 // proportionally while preserving loss rates and burst structure.
 //
 // -json writes a machine-readable summary — per-trace determinism
-// fingerprints plus the headline metrics — so BENCH_*.json files taken
+// fingerprints plus the headline metrics and a perf block (wall time and
+// allocation counts of the suite run) — so BENCH_*.json files taken
 // on different code revisions can be diffed: identical fingerprints
 // prove a change behavior-preserving, diverging metrics quantify what
-// moved.
+// moved, and the perf block tracks the cost trajectory.
+//
+// -cpuprofile and -memprofile write pprof profiles of the suite run for
+// hot-path analysis (go tool pprof).
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -39,7 +44,22 @@ type benchJSON struct {
 	Scale       float64          `json:"scale"`
 	Seed        int64            `json:"seed"`
 	Fingerprint string           `json:"fingerprint_version"`
+	Perf        benchPerfJSON    `json:"perf"`
 	Traces      []benchTraceJSON `json:"traces"`
+}
+
+// benchPerfJSON records the cost of the suite run that produced the
+// file. Mallocs and AllocBytes are exact allocation counters
+// (runtime.MemStats deltas) and are stable across runs of the same
+// binary; ElapsedNS is wall time and varies with the machine. Comparing
+// these blocks across code revisions — with identical fingerprints
+// proving the runs behaviorally equal — quantifies a perf change.
+type benchPerfJSON struct {
+	ElapsedNS  int64  `json:"suite_elapsed_ns"`
+	Mallocs    uint64 `json:"suite_mallocs"`
+	AllocBytes uint64 `json:"suite_alloc_bytes"`
+	Parallel   int    `json:"parallel"`
+	GoVersion  string `json:"go_version"`
 }
 
 type benchTraceJSON struct {
@@ -55,11 +75,12 @@ type benchTraceJSON struct {
 	CESRMFinishedAtNS   int64   `json:"cesrm_finished_at_ns"`
 }
 
-func writeJSON(path string, scale float64, seed int64, results []experiment.SuiteResult) error {
+func writeJSON(path string, scale float64, seed int64, perf benchPerfJSON, results []experiment.SuiteResult) error {
 	out := benchJSON{
 		Scale:       scale,
 		Seed:        seed,
 		Fingerprint: fmt.Sprintf("v%d", experiment.FingerprintVersion),
+		Perf:        perf,
 	}
 	for _, r := range results {
 		p := r.Pair
@@ -108,7 +129,9 @@ func run(args []string) error {
 	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
 	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
-	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics) to this file")
+	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the suite run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,9 +173,41 @@ func run(args []string) error {
 	}
 	fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v\n\n",
 		*scale, *seed, *delay, *lossy, *policy, *routerAssist)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	started := time.Now()
 	results, err := suite.Run()
+	elapsed := time.Since(started)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize the allocation profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	switch *section {
@@ -187,7 +242,14 @@ func run(args []string) error {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *scale, *seed, results); err != nil {
+		perf := benchPerfJSON{
+			ElapsedNS:  elapsed.Nanoseconds(),
+			Mallocs:    m1.Mallocs - m0.Mallocs,
+			AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+			Parallel:   *parallel,
+			GoVersion:  runtime.Version(),
+		}
+		if err := writeJSON(*jsonPath, *scale, *seed, perf, results); err != nil {
 			return err
 		}
 	}

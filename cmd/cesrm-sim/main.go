@@ -9,13 +9,16 @@
 // -verify-determinism N reruns the configuration N extra times and
 // fails if any rerun's fingerprint diverges from the first — the
 // determinism audit. -events FILE dumps the ordered protocol-event
-// stream as NDJSON for timeline debugging.
+// stream as NDJSON for timeline debugging. -cpuprofile and -memprofile
+// write pprof profiles of the run for hot-path analysis.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -46,8 +49,22 @@ func run(args []string) error {
 	routerAssist := fs.Bool("router-assist", false, "enable router-assisted CESRM (§3.3)")
 	verifyDet := fs.Int("verify-determinism", 0, "rerun the config N extra times and fail on fingerprint divergence")
 	eventsFile := fs.String("events", "", "write the ordered protocol-event stream as NDJSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var tr *trace.Trace
@@ -125,6 +142,21 @@ func run(args []string) error {
 		fmt.Printf("event timeline: %d events written to %s\n", len(res.Events), *eventsFile)
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize the allocation profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	report(tr, proto, res)
 	return nil
 }
@@ -164,9 +196,9 @@ func report(tr *trace.Trace, proto experiment.Protocol, res *experiment.RunResul
 	printPercentiles(res)
 
 	c := res.Crossings
-	fmt.Printf("\nlink crossings: data=%d session=%d | retrans: mcast=%d subcast=%d ucast=%d | control: mcast=%d ucast=%d | recovery total=%d\n",
+	fmt.Printf("\nlink crossings: data=%d session=%d | retrans: mcast=%d subcast=%d ucast=%d | control: mcast=%d subcast=%d ucast=%d | recovery total=%d\n",
 		c.Data, c.Session, c.PayloadMulticast, c.PayloadSubcast, c.PayloadUnicast,
-		c.ControlMulticast, c.ControlUnicast, c.RecoveryTotal())
+		c.ControlMulticast, c.ControlSubcast, c.ControlUnicast, c.RecoveryTotal())
 }
 
 func printPercentiles(res *experiment.RunResult) {

@@ -196,13 +196,15 @@ func (p *Pair) Overhead() OverheadRow {
 	s := p.SRM.Crossings
 	c := p.CESRM.Crossings
 	srmRetrans := float64(s.PayloadMulticast + s.PayloadSubcast + s.PayloadUnicast)
-	srmControl := float64(s.ControlMulticast + s.ControlUnicast)
+	// Subcast control rides in the multicast bucket: it is scoped
+	// multicast delivery, and today's protocols emit none of it anyway.
+	srmControl := float64(s.ControlMulticast + s.ControlSubcast + s.ControlUnicast)
 	row := OverheadRow{}
 	if srmRetrans > 0 {
 		row.RetransPct = 100 * float64(c.PayloadMulticast+c.PayloadSubcast+c.PayloadUnicast) / srmRetrans
 	}
 	if srmControl > 0 {
-		row.ControlMulticastPct = 100 * float64(c.ControlMulticast) / srmControl
+		row.ControlMulticastPct = 100 * float64(c.ControlMulticast+c.ControlSubcast) / srmControl
 		row.ControlUnicastPct = 100 * float64(c.ControlUnicast) / srmControl
 	}
 	return row

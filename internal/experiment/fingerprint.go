@@ -93,7 +93,12 @@ func computeFingerprint(events []stats.Event, crossings netsim.CrossingCounts,
 	f.u64(crossings.PayloadMulticast)
 	f.u64(crossings.PayloadSubcast)
 	f.u64(crossings.PayloadUnicast)
-	f.u64(crossings.ControlMulticast)
+	// Multicast and subcast control crossings are digested combined: the
+	// ControlSubcast counter was split out of ControlMulticast after the
+	// fingerprint format was frozen, and hashing them as one value keeps
+	// every historical fingerprint valid (no protocol emits subcast
+	// control today, so the sum equals the old field anyway).
+	f.u64(crossings.ControlMulticast + crossings.ControlSubcast)
 	f.u64(crossings.ControlUnicast)
 
 	// Section 3: finish time.

@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+// TestGoldenFingerprints pins the exact run fingerprints of one small
+// run per protocol, recorded before the allocation-lean refactor of the
+// engine and network layers. The optimization contract is behavioral
+// transparency: pooling scheduled events, reusing flood scratch buffers
+// and precomputing hop distances must not move a single event, so these
+// strings must never change. If they do, the refactor altered scheduling
+// order or timing — a correctness bug, not a golden to update.
+func TestGoldenFingerprints(t *testing.T) {
+	tr := smallTrace(t, 99)
+	want := map[Protocol]string{
+		SRM:   "v1:6b106a9023156b50a7f8f7e901c18d83",
+		CESRM: "v1:22d0cfe77977f428f0d688a0724d2986",
+		LMS:   "v1:a3df4258a922f846f7133ee92a9f1ea5",
+	}
+	for p, fp := range want {
+		res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Fingerprint != fp {
+			t.Errorf("%v fingerprint drifted:\n got  %s\n want %s", p, res.Fingerprint, fp)
+		}
+	}
+}

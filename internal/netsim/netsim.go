@@ -156,6 +156,14 @@ type CrossingCounts struct {
 	// ControlMulticast counts multicast control crossings (SRM requests,
 	// CESRM fallback requests).
 	ControlMulticast uint64
+	// ControlSubcast counts subcast control crossings. None of the
+	// implemented protocols subcasts control packets today (router-
+	// assisted replies subcast payload), so this counter is zero in every
+	// current configuration; it exists so subcast control is not silently
+	// lumped into ControlMulticast as it used to be. The determinism
+	// fingerprint digests ControlMulticast+ControlSubcast combined,
+	// preserving fingerprints across the split.
+	ControlSubcast uint64
 	// ControlUnicast counts unicast control crossings (CESRM expedited
 	// requests).
 	ControlUnicast uint64
@@ -171,7 +179,7 @@ type CrossingCounts struct {
 // original data dissemination and session traffic.
 func (c CrossingCounts) RecoveryTotal() uint64 {
 	return c.PayloadMulticast + c.PayloadUnicast + c.PayloadSubcast +
-		c.ControlMulticast + c.ControlUnicast
+		c.ControlMulticast + c.ControlSubcast + c.ControlUnicast
 }
 
 // Network simulates the tree. Construct with New.
@@ -194,16 +202,47 @@ type Network struct {
 	jitterRNG *sim.RNG
 	maxJitter time.Duration
 
+	// txPayload and txControl are the per-link serialization delays of
+	// the two packet classes, fixed by the config, precomputed so the
+	// hot paths never divide.
+	txPayload time.Duration
+	txControl time.Duration
+
+	// Flood scratch state, reused across floods so the fast path
+	// allocates nothing per packet. visited holds per-node epoch stamps:
+	// a node is visited in the current flood iff visited[node] ==
+	// visitGen. stack is the DFS worklist. The fast flood path runs
+	// synchronously — Deliver callbacks fire later, from scheduled
+	// events — so the scratch state is never re-entered.
+	visited  []uint64
+	visitGen uint64
+	stack    []floodVisit
+
+	// freeDeliveries and freeHops pool the reusable event structs that
+	// replaced the closure-per-delivery and closure-per-hop allocations.
+	freeDeliveries []*deliveryEvent
+	freeHops       []*hopEvent
+
 	counts CrossingCounts
+}
+
+// floodVisit is one DFS worklist entry of the fast flood path.
+type floodVisit struct {
+	node topology.NodeID
+	hops int
 }
 
 // New builds a network over tree using engine eng.
 func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
 	n := &Network{
-		eng:   eng,
-		tree:  tree,
-		cfg:   cfg,
-		hosts: make(map[topology.NodeID]Host),
+		eng:       eng,
+		tree:      tree,
+		cfg:       cfg,
+		hosts:     make(map[topology.NodeID]Host),
+		txPayload: serializeTime(cfg.PayloadBytes, cfg.Bandwidth),
+		txControl: serializeTime(cfg.ControlBytes, cfg.Bandwidth),
+		visited:   make([]uint64, tree.NumNodes()),
+		stack:     make([]floodVisit, 0, tree.NumNodes()),
 	}
 	if cfg.Queuing {
 		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
@@ -258,21 +297,28 @@ func (n *Network) jitter() time.Duration {
 	return n.jitterRNG.UniformDuration(0, n.maxJitter)
 }
 
-// packetBytes returns the wire size of p.
-func (n *Network) packetBytes(p *Packet) int {
+// txTime is the serialization delay of p on one link, precomputed per
+// class at construction.
+func (n *Network) txTime(p *Packet) time.Duration {
 	if p.Class == Payload {
-		return n.cfg.PayloadBytes
+		return n.txPayload
 	}
-	return n.cfg.ControlBytes
+	return n.txControl
 }
 
-// txTime is the serialization delay of p on one link.
-func (n *Network) txTime(p *Packet) time.Duration {
-	bytes := n.packetBytes(p)
-	if bytes == 0 || n.cfg.Bandwidth <= 0 {
+// serializeTime computes the serialization delay of a packet of the
+// given size in integer arithmetic: bytes*8*time.Second/bandwidth,
+// truncated to the nanosecond. The old floating-point formula
+// (float64(bits)/bandwidth*1e9) produced the same value for every
+// configuration used so far, but floats invite sub-nanosecond rounding
+// that can differ across platforms and compiler versions — poison for
+// run fingerprints. Fractional bandwidths truncate to whole bits/s.
+func serializeTime(bytes int, bandwidth float64) time.Duration {
+	bps := int64(bandwidth)
+	if bytes == 0 || bps <= 0 {
 		return 0
 	}
-	return time.Duration(float64(bytes*8) / n.cfg.Bandwidth * float64(time.Second))
+	return time.Duration(int64(bytes) * 8 * int64(time.Second) / bps)
 }
 
 // Distance returns the control-plane one-way latency between two nodes:
@@ -304,7 +350,7 @@ func (n *Network) countCrossing(p *Packet) {
 	case p.Mode == ModeMulticast:
 		n.counts.ControlMulticast++
 	case p.Mode == ModeSubcast:
-		n.counts.ControlMulticast++
+		n.counts.ControlSubcast++
 	default:
 		n.counts.ControlUnicast++
 	}
@@ -343,71 +389,154 @@ func (n *Network) Subcast(root topology.NodeID, p *Packet) {
 	n.flood(root, p, true)
 }
 
+// deliveryEvent is the pooled end-to-end delivery event: it replaces
+// the closure previously captured per delivery. The struct returns to
+// the pool before Deliver runs, so nested sends can reuse it.
+type deliveryEvent struct {
+	n    *Network
+	host Host
+	pkt  *Packet
+}
+
+func (d *deliveryEvent) Fire(now sim.Time) {
+	n, host, pkt := d.n, d.host, d.pkt
+	d.host, d.pkt = nil, nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	host.Deliver(now, pkt)
+}
+
+// scheduleDelivery registers delivery of p to h at the given instant
+// using a pooled event. Delivery events hold no Timer and are never
+// cancelled, so recycling on fire is safe.
+func (n *Network) scheduleDelivery(at sim.Time, h Host, p *Packet) {
+	var d *deliveryEvent
+	if k := len(n.freeDeliveries); k > 0 {
+		d = n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+	} else {
+		d = &deliveryEvent{n: n}
+	}
+	d.host, d.pkt = h, p
+	n.eng.ScheduleHandlerAt(at, d)
+}
+
 // flood walks the tree outward from origin. downOnly restricts the walk
 // to descendants (subcast). Without queuing this performs the whole
 // reachability walk immediately and schedules one delivery event per
 // reached host; with queuing it simulates each hop as its own event.
+//
+// The fast path reuses the network's scratch buffers (visited stamps,
+// DFS stack) and pooled delivery events, so it allocates nothing. The
+// traversal order — children in tree order, then the parent — and the
+// LIFO worklist are load-bearing: they fix the FIFO tie-break sequence
+// of the scheduled deliveries and must match what the old
+// map-and-slice implementation produced.
 func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 	if n.cfg.Queuing {
 		n.floodHop(origin, origin, topology.None, p, downOnly, n.eng.Now())
 		return
 	}
-	tx := n.txTime(p)
-	perHop := n.cfg.LinkDelay + tx
-	type visit struct {
-		node topology.NodeID
-		hops int
-	}
-	stack := []visit{{origin, 0}}
-	visited := map[topology.NodeID]bool{origin: true}
+	perHop := n.cfg.LinkDelay + n.txTime(p)
+	now := n.eng.Now()
+	n.visitGen++
+	gen := n.visitGen
+	stack := n.stack[:0]
+	stack = append(stack, floodVisit{origin, 0})
+	n.visited[origin] = gen
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if v.node != origin {
 			if h, ok := n.hosts[v.node]; ok {
-				pkt, host := p, h
-				n.eng.Schedule(time.Duration(v.hops)*perHop+n.jitter(), func(now sim.Time) {
-					host.Deliver(now, pkt)
-				})
+				n.scheduleDelivery(now.Add(time.Duration(v.hops)*perHop+n.jitter()), h, p)
 			}
 		}
-		for _, next := range n.neighbors(v.node, downOnly) {
-			if visited[next] {
+		for _, next := range n.tree.Children(v.node) {
+			if n.visited[next] == gen {
 				continue
 			}
-			visited[next] = true
-			link, down := n.linkBetween(v.node, next)
+			n.visited[next] = gen
 			n.countCrossing(p)
-			if n.drop != nil && n.drop(p, link, down) {
+			// Moving to a child crosses the child's inbound link downward.
+			if n.drop != nil && n.drop(p, next, true) {
 				continue
 			}
-			stack = append(stack, visit{next, v.hops + 1})
+			stack = append(stack, floodVisit{next, v.hops + 1})
+		}
+		if !downOnly {
+			if parent := n.tree.Parent(v.node); parent != topology.None && n.visited[parent] != gen {
+				n.visited[parent] = gen
+				n.countCrossing(p)
+				// Climbing crosses our own inbound link upward.
+				if n.drop == nil || !n.drop(p, v.node, false) {
+					stack = append(stack, floodVisit{parent, v.hops + 1})
+				}
+			}
 		}
 	}
+	n.stack = stack[:0]
+}
+
+// hopEvent is the pooled per-hop forwarding event of the queuing flood
+// path, replacing the closure previously captured per hop.
+type hopEvent struct {
+	n        *Network
+	origin   topology.NodeID
+	node     topology.NodeID
+	cameFrom topology.NodeID
+	pkt      *Packet
+	downOnly bool
+}
+
+func (h *hopEvent) Fire(now sim.Time) {
+	n := h.n
+	origin, node, cameFrom, pkt, downOnly := h.origin, h.node, h.cameFrom, h.pkt, h.downOnly
+	h.pkt = nil
+	n.freeHops = append(n.freeHops, h)
+	n.floodHop(origin, node, cameFrom, pkt, downOnly, now)
+}
+
+// scheduleHop registers continuation of a queuing flood at node `next`,
+// arriving from `from`, at the given instant.
+func (n *Network) scheduleHop(at sim.Time, origin, next, from topology.NodeID, p *Packet, downOnly bool) {
+	var h *hopEvent
+	if k := len(n.freeHops); k > 0 {
+		h = n.freeHops[k-1]
+		n.freeHops[k-1] = nil
+		n.freeHops = n.freeHops[:k-1]
+	} else {
+		h = &hopEvent{n: n}
+	}
+	h.origin, h.node, h.cameFrom, h.pkt, h.downOnly = origin, next, from, p, downOnly
+	n.eng.ScheduleHandlerAt(at, h)
 }
 
 // floodHop is the event-per-hop variant used when Queuing is enabled.
+// Like flood, it visits children in tree order before the parent.
 func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, downOnly bool, at sim.Time) {
 	if node != origin {
 		if h, ok := n.hosts[node]; ok {
 			h.Deliver(at, p)
 		}
 	}
-	for _, next := range n.neighbors(node, downOnly) {
+	for _, next := range n.tree.Children(node) {
 		if next == cameFrom {
 			continue
 		}
-		link, down := n.linkBetween(node, next)
 		n.countCrossing(p)
-		if n.drop != nil && n.drop(p, link, down) {
+		if n.drop != nil && n.drop(p, next, true) {
 			continue
 		}
-		arrive := n.hopArrival(link, down, at, p)
-		next := next
-		nodeCopy := node
-		n.eng.ScheduleAt(arrive, func(now sim.Time) {
-			n.floodHop(origin, next, nodeCopy, p, downOnly, now)
-		})
+		n.scheduleHop(n.hopArrival(next, true, at, p), origin, next, node, p, downOnly)
+	}
+	if !downOnly {
+		if parent := n.tree.Parent(node); parent != topology.None && parent != cameFrom {
+			n.countCrossing(p)
+			if n.drop == nil || !n.drop(p, node, false) {
+				n.scheduleHop(n.hopArrival(node, false, at, p), origin, parent, node, p, downOnly)
+			}
+		}
 	}
 }
 
@@ -445,8 +574,7 @@ func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
 		cur = next
 	}
 	if h, ok := n.hosts[to]; ok && to != from {
-		pkt, host := p, h
-		n.eng.ScheduleAt(at.Add(n.jitter()), func(now sim.Time) { host.Deliver(now, pkt) })
+		n.scheduleDelivery(at.Add(n.jitter()), h, p)
 	}
 }
 
@@ -517,27 +645,3 @@ func (n *Network) hopArrival(link topology.LinkID, down bool, at sim.Time, p *Pa
 	return finish.Add(n.cfg.LinkDelay)
 }
 
-// neighbors lists the nodes adjacent to u, optionally restricted to
-// children.
-func (n *Network) neighbors(u topology.NodeID, downOnly bool) []topology.NodeID {
-	ch := n.tree.Children(u)
-	if downOnly || n.tree.Parent(u) == topology.None {
-		return ch
-	}
-	out := make([]topology.NodeID, 0, len(ch)+1)
-	out = append(out, ch...)
-	out = append(out, n.tree.Parent(u))
-	return out
-}
-
-// linkBetween identifies the link connecting adjacent nodes u and v and
-// the traversal direction (down = away from root) when moving u -> v.
-func (n *Network) linkBetween(u, v topology.NodeID) (topology.LinkID, bool) {
-	if n.tree.Parent(v) == u {
-		return v, true
-	}
-	if n.tree.Parent(u) == v {
-		return u, false
-	}
-	panic(fmt.Sprintf("netsim: nodes %d and %d are not adjacent", u, v))
-}

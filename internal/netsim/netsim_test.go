@@ -401,6 +401,188 @@ func BenchmarkUnicastPath(b *testing.B) {
 	}
 }
 
+// TestCountCrossingClassification pins the classification of every
+// Mode×Class×Session combination (plus the data-tagged payload case)
+// onto exactly one counter. In particular, subcast control packets get
+// their own ControlSubcast counter instead of being lumped into
+// ControlMulticast.
+func TestCountCrossingClassification(t *testing.T) {
+	type want struct {
+		data, payloadMcast, payloadSub, payloadUcast uint64
+		ctrlMcast, ctrlSub, ctrlUcast, session       uint64
+	}
+	cases := []struct {
+		name    string
+		mode    Mode
+		class   Class
+		session bool
+		msg     any
+		want    want
+	}{
+		{"session multicast control", ModeMulticast, Control, true, reqMsg{}, want{session: 1}},
+		{"session unicast control", ModeUnicast, Control, true, reqMsg{}, want{session: 1}},
+		{"session subcast control", ModeSubcast, Control, true, reqMsg{}, want{session: 1}},
+		{"session multicast payload", ModeMulticast, Payload, true, dataMsg{}, want{session: 1}},
+		{"session unicast payload", ModeUnicast, Payload, true, dataMsg{}, want{session: 1}},
+		{"session subcast payload", ModeSubcast, Payload, true, dataMsg{}, want{session: 1}},
+		{"original data", ModeMulticast, Payload, false, dataMsg{}, want{data: 1}},
+		{"multicast retransmission", ModeMulticast, Payload, false, reqMsg{}, want{payloadMcast: 1}},
+		{"subcast retransmission", ModeSubcast, Payload, false, reqMsg{}, want{payloadSub: 1}},
+		{"subcast data-tagged payload", ModeSubcast, Payload, false, dataMsg{}, want{payloadSub: 1}},
+		{"unicast payload", ModeUnicast, Payload, false, reqMsg{}, want{payloadUcast: 1}},
+		{"unicast data-tagged payload", ModeUnicast, Payload, false, dataMsg{}, want{payloadUcast: 1}},
+		{"multicast control", ModeMulticast, Control, false, reqMsg{}, want{ctrlMcast: 1}},
+		{"multicast control nil msg", ModeMulticast, Control, false, nil, want{ctrlMcast: 1}},
+		{"subcast control", ModeSubcast, Control, false, reqMsg{}, want{ctrlSub: 1}},
+		{"unicast control", ModeUnicast, Control, false, reqMsg{}, want{ctrlUcast: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, net, _ := setup(t, DefaultConfig())
+			net.countCrossing(&Packet{Mode: c.mode, Class: c.class, Session: c.session, Msg: c.msg})
+			got := net.Counts()
+			w := CrossingCounts{
+				Data:             c.want.data,
+				PayloadMulticast: c.want.payloadMcast,
+				PayloadSubcast:   c.want.payloadSub,
+				PayloadUnicast:   c.want.payloadUcast,
+				ControlMulticast: c.want.ctrlMcast,
+				ControlSubcast:   c.want.ctrlSub,
+				ControlUnicast:   c.want.ctrlUcast,
+				Session:          c.want.session,
+			}
+			if got != w {
+				t.Fatalf("counts = %+v, want %+v", got, w)
+			}
+		})
+	}
+}
+
+func TestSubcastControlCountsInRecoveryTotal(t *testing.T) {
+	c := CrossingCounts{ControlSubcast: 3, ControlMulticast: 2, Data: 100, Session: 50}
+	if got := c.RecoveryTotal(); got != 5 {
+		t.Fatalf("RecoveryTotal = %d, want 5", got)
+	}
+}
+
+// TestFloodPathEquivalence is the property test for the two flood
+// implementations: on random trees, with a deterministic link-local
+// drop function, the fast (non-queuing) path and the event-per-hop
+// queuing path must deliver to exactly the same hosts and cross exactly
+// the same links the same number of times. Only timing may differ.
+func TestFloodPathEquivalence(t *testing.T) {
+	type linkDir struct {
+		link topology.LinkID
+		down bool
+	}
+	// run floods a single packet and returns (delivered hosts, crossed
+	// link/direction multiset).
+	run := func(tree *topology.Tree, queuing bool, origin topology.NodeID, subcast bool, dropMod int) (map[topology.NodeID]int, map[linkDir]int) {
+		cfg := DefaultConfig()
+		cfg.Queuing = queuing
+		eng := sim.NewEngine()
+		net := New(eng, tree, cfg)
+		recs := make(map[topology.NodeID]*recorder)
+		for _, r := range tree.Receivers() {
+			rec := &recorder{}
+			recs[r] = rec
+			net.AttachHost(r, rec)
+		}
+		crossed := make(map[linkDir]int)
+		if dropMod > 0 {
+			// Deterministic in (link, direction) only, so both paths see
+			// identical drop decisions regardless of traversal order.
+			net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
+				crossed[linkDir{link, down}]++
+				k := int(link) * 2
+				if down {
+					k++
+				}
+				return k%dropMod == 0
+			})
+		} else {
+			net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
+				crossed[linkDir{link, down}]++
+				return false
+			})
+		}
+		if subcast {
+			net.Subcast(origin, &Packet{Class: Payload, From: origin, Msg: reqMsg{}})
+		} else {
+			net.Multicast(origin, &Packet{Class: Payload, Msg: reqMsg{}})
+		}
+		eng.Run()
+		hosts := make(map[topology.NodeID]int)
+		for id, rec := range recs {
+			if len(rec.got) > 0 {
+				hosts[id] = len(rec.got)
+			}
+		}
+		return hosts, crossed
+	}
+
+	for seed := int64(0); seed < 8; seed++ {
+		spec := topology.GenSpec{Receivers: 6 + int(seed)*2, Depth: 3 + int(seed)%4}
+		tree := topology.MustGenerate(sim.NewRNG(seed), spec)
+		origins := []topology.NodeID{tree.Root(), tree.Receivers()[0], tree.Receivers()[tree.NumReceivers()-1]}
+		for _, origin := range origins {
+			for _, subcast := range []bool{false, true} {
+				for _, dropMod := range []int{0, 3, 5} {
+					fastHosts, fastLinks := run(tree, false, origin, subcast, dropMod)
+					slowHosts, slowLinks := run(tree, true, origin, subcast, dropMod)
+					if len(fastHosts) != len(slowHosts) {
+						t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: host sets differ: fast=%v slow=%v",
+							seed, origin, subcast, dropMod, fastHosts, slowHosts)
+					}
+					for id, nf := range fastHosts {
+						if slowHosts[id] != nf {
+							t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: host %d deliveries fast=%d slow=%d",
+								seed, origin, subcast, dropMod, id, nf, slowHosts[id])
+						}
+					}
+					if len(fastLinks) != len(slowLinks) {
+						t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: crossed link sets differ: fast=%v slow=%v",
+							seed, origin, subcast, dropMod, fastLinks, slowLinks)
+					}
+					for ld, nf := range fastLinks {
+						if slowLinks[ld] != nf {
+							t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: link %v crossings fast=%d slow=%d",
+								seed, origin, subcast, dropMod, ld, nf, slowLinks[ld])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFloodFastPathAllocationFree pins the tentpole property: once the
+// scratch buffers and pools are warm, a multicast flood performs no
+// per-packet heap allocations beyond the packet itself.
+func TestFloodFastPathAllocationFree(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
+	net := New(eng, tree, DefaultConfig())
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, &recorder{})
+	}
+	pkt := &Packet{Class: Payload, Msg: dataMsg{}}
+	// Warm-up: grow scratch, pools, heap and recorder slices.
+	for i := 0; i < 8; i++ {
+		net.Multicast(tree.Root(), pkt)
+		eng.Run()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		net.Multicast(tree.Root(), pkt)
+		eng.Run()
+	})
+	// The recorder appends to its deliveries slice, which occasionally
+	// reallocates; everything else must be allocation-free.
+	if avg > 1 {
+		t.Fatalf("flood allocates %.1f objects per packet, want <= 1", avg)
+	}
+}
+
 func TestUnicastThenSubcast(t *testing.T) {
 	cfg := DefaultConfig()
 	eng, net, recs := setup(t, cfg)

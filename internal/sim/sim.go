@@ -6,6 +6,12 @@
 // events scheduled at the same instant. Determinism is a hard requirement
 // for the trace-driven protocol experiments built on top of this package,
 // so no wall-clock time or global randomness is consulted anywhere.
+//
+// The engine is also allocation-lean: scheduled-event records are
+// recycled through a free list (guarded by a generation counter so a
+// stale Timer can never cancel a recycled event), and hot callers can
+// schedule a reusable EventHandler instead of a closure to avoid the
+// per-event capture allocation.
 package sim
 
 import (
@@ -44,11 +50,30 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Event is a scheduled callback. Handlers run in virtual-time order.
 type Event func(now Time)
 
-// scheduledEvent is an entry in the event queue.
+// EventHandler is the closure-free scheduling surface: an object whose
+// Fire method runs when its instant arrives. Hot paths that would
+// otherwise capture state into a fresh closure per event (packet
+// deliveries, per-hop forwarding) implement EventHandler on a pooled
+// struct and schedule it with ScheduleHandlerAt, eliminating the
+// per-event allocation entirely.
+type EventHandler interface {
+	// Fire runs the event at virtual time now.
+	Fire(now Time)
+}
+
+// scheduledEvent is an entry in the event queue. Records are pooled:
+// after firing (or after a cancelled record leaves the heap) the record
+// returns to the engine's free list and its generation is bumped, so
+// Timers referring to the previous occupancy become permanently inert.
 type scheduledEvent struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   Event
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  Event
+	h   EventHandler // non-nil exactly when fn is nil
+	// gen counts how many times this record has been recycled. A Timer
+	// captures the generation at scheduling time; any mismatch means the
+	// record now belongs to a different event.
+	gen  uint64
 	dead bool // cancelled events stay in the heap but are skipped
 	pos  int  // heap index, maintained by eventQueue
 }
@@ -100,6 +125,9 @@ type Engine struct {
 	// dead counts cancelled events still occupying the queue; when they
 	// outnumber the live events the queue is compacted (see Cancel).
 	dead int
+	// free holds recycled event records. Its length is bounded by the
+	// peak live queue size, so steady-state scheduling allocates nothing.
+	free []*scheduledEvent
 }
 
 // NewEngine returns an engine positioned at virtual time zero with an
@@ -119,38 +147,77 @@ func (e *Engine) Executed() uint64 { return e.executed }
 func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
 // Timer identifies a scheduled event and allows cancelling it before it
-// fires. The zero Timer is invalid.
+// fires. The zero Timer is invalid. A Timer pins the (record, generation)
+// pair it was issued for: once the event fires or its cancelled record is
+// recycled, the Timer is inert — it can neither cancel nor observe the
+// record's next occupant.
 type Timer struct {
-	ev *scheduledEvent
+	ev  *scheduledEvent
+	gen uint64
 }
 
 // Active reports whether the timer is scheduled and has neither fired
 // nor been cancelled.
-func (t Timer) Active() bool { return t.ev != nil && !t.ev.dead && t.ev.pos >= 0 }
-
-// At returns the instant the timer is scheduled to fire. It is only
-// meaningful while the timer is Active.
-func (t Timer) At() Time {
-	if t.ev == nil {
-		return 0
-	}
-	return t.ev.at
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead && t.ev.pos >= 0
 }
 
-// ScheduleAt registers fn to run at the given instant. Scheduling in the
-// past (before Now) panics: it would silently reorder causality, which is
-// always a bug in the protocol layers above.
+// At returns the instant the timer is scheduled to fire. The second
+// result is false — and the instant zero — when the timer is not Active:
+// never scheduled, already fired, or cancelled. (It used to return the
+// stale scheduled instant of a fired or cancelled timer, which let
+// callers reason about timers that no longer existed.)
+func (t Timer) At() (Time, bool) {
+	if !t.Active() {
+		return 0, false
+	}
+	return t.ev.at, true
+}
+
+// alloc takes a recycled record from the free list (or allocates a fresh
+// one), stamps it with the next FIFO sequence number, and validates the
+// instant. Scheduling in the past panics: it would silently reorder
+// causality, which is always a bug in the protocol layers above.
+func (e *Engine) alloc(at Time) *scheduledEvent {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", at, e.now))
+	}
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.dead = false
+	} else {
+		ev = &scheduledEvent{}
+	}
+	ev.at = at
+	ev.seq = e.nextSeq
+	e.nextSeq++
+	return ev
+}
+
+// release recycles a record that has left the heap (fired, or cancelled
+// and popped/compacted away). Bumping the generation first makes every
+// outstanding Timer for the old occupancy inert before the record can be
+// handed out again.
+func (e *Engine) release(ev *scheduledEvent) {
+	ev.gen++
+	ev.fn = nil
+	ev.h = nil
+	ev.dead = true
+	e.free = append(e.free, ev)
+}
+
+// ScheduleAt registers fn to run at the given instant.
 func (e *Engine) ScheduleAt(at Time, fn Event) Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt called with nil event")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", at, e.now))
-	}
-	ev := &scheduledEvent{at: at, seq: e.nextSeq, fn: fn}
-	e.nextSeq++
+	ev := e.alloc(at)
+	ev.fn = fn
 	heap.Push(&e.queue, ev)
-	return Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Schedule registers fn to run after delay. Negative delays are clamped
@@ -163,21 +230,46 @@ func (e *Engine) Schedule(delay Duration, fn Event) Timer {
 	return e.ScheduleAt(e.now.Add(delay), fn)
 }
 
+// ScheduleHandlerAt registers h.Fire to run at the given instant. It is
+// the allocation-free counterpart of ScheduleAt: h is typically a pooled
+// struct owned by the caller, so no closure is captured.
+func (e *Engine) ScheduleHandlerAt(at Time, h EventHandler) Timer {
+	if h == nil {
+		panic("sim: ScheduleHandlerAt called with nil handler")
+	}
+	ev := e.alloc(at)
+	ev.h = h
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleHandler registers h.Fire to run after delay, clamping negative
+// delays to zero like Schedule.
+func (e *Engine) ScheduleHandler(delay Duration, h EventHandler) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleHandlerAt(e.now.Add(delay), h)
+}
+
 // compactThreshold is the minimum queue length before Cancel considers
 // compaction; below it the dead entries are too few to matter.
 const compactThreshold = 64
 
 // Cancel deactivates the timer. Cancelling an already-fired or
-// already-cancelled timer is a no-op, so callers can cancel defensively.
+// already-cancelled timer is a no-op, so callers can cancel defensively;
+// a timer whose record has been recycled for a newer event is likewise a
+// no-op (the generation check), so stale handles cannot kill live events.
 // When cancelled entries come to outnumber live ones the queue is
 // compacted, so long runs that cancel many timers (suppression is
 // SRM's bread and butter) keep the heap proportional to the live load.
 func (e *Engine) Cancel(t Timer) {
-	if t.ev == nil || t.ev.dead {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	t.ev.h = nil
 	if t.ev.pos >= 0 {
 		e.dead++
 		if e.dead > len(e.queue)/2 && len(e.queue) >= compactThreshold {
@@ -186,14 +278,15 @@ func (e *Engine) Cancel(t Timer) {
 	}
 }
 
-// compact rebuilds the queue without dead entries. Heap order is a pure
-// function of (at, seq), both immutable after scheduling, so compaction
-// cannot perturb dispatch order.
+// compact rebuilds the queue without dead entries, recycling them. Heap
+// order is a pure function of (at, seq), both immutable after
+// scheduling, so compaction cannot perturb dispatch order.
 func (e *Engine) compact() {
 	live := e.queue[:0]
 	for _, ev := range e.queue {
 		if ev.dead {
 			ev.pos = -1
+			e.release(ev)
 			continue
 		}
 		live = append(live, ev)
@@ -217,14 +310,21 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.queue).(*scheduledEvent)
 		if ev.dead {
 			e.dead--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		ev.dead = true
+		fn, h := ev.fn, ev.h
+		// Recycle before dispatch: the handler may schedule new events,
+		// and reusing this record for them is exactly what the generation
+		// guard makes safe.
+		e.release(ev)
 		e.executed++
-		fn(e.now)
+		if h != nil {
+			h.Fire(e.now)
+		} else {
+			fn(e.now)
+		}
 		return true
 	}
 	return false
@@ -274,6 +374,7 @@ func (e *Engine) peek() (Time, bool) {
 		}
 		heap.Pop(&e.queue)
 		e.dead--
+		e.release(ev)
 	}
 	return 0, false
 }

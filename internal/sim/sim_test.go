@@ -328,11 +328,123 @@ func TestPendingExcludesCancelled(t *testing.T) {
 func TestTimerAtReportsInstant(t *testing.T) {
 	e := NewEngine()
 	tm := e.Schedule(3*time.Second, func(Time) {})
-	if tm.At() != Time(3*time.Second) {
-		t.Fatalf("At = %v", tm.At())
+	at, ok := tm.At()
+	if !ok || at != Time(3*time.Second) {
+		t.Fatalf("At = %v, %v; want 3s, true", at, ok)
 	}
-	if (Timer{}).At() != 0 {
-		t.Fatal("zero timer At should be 0")
+	if _, ok := (Timer{}).At(); ok {
+		t.Fatal("zero timer At should report inactive")
+	}
+}
+
+func TestTimerAtInactiveAfterFireAndCancel(t *testing.T) {
+	// Regression: At used to keep returning the stale scheduled instant
+	// after the timer had fired or been cancelled, letting callers reason
+	// about timers that no longer existed.
+	e := NewEngine()
+	fired := e.Schedule(time.Second, func(Time) {})
+	cancelled := e.Schedule(2*time.Second, func(Time) {})
+	e.Cancel(cancelled)
+	if at, ok := cancelled.At(); ok || at != 0 {
+		t.Fatalf("cancelled timer At = %v, %v; want 0, false", at, ok)
+	}
+	e.Run()
+	if at, ok := fired.At(); ok || at != 0 {
+		t.Fatalf("fired timer At = %v, %v; want 0, false", at, ok)
+	}
+}
+
+func TestPoolRecyclesFiredEvents(t *testing.T) {
+	// After a warm-up burst the engine must serve subsequent schedules
+	// from the free list instead of the heap allocator.
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func(Time) {})
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(time.Millisecond, func(Time) {})
+		e.Step()
+	})
+	// One allocation per round is the closure itself (fn escapes to the
+	// heap); the event record must come from the pool.
+	if allocs > 1 {
+		t.Fatalf("Schedule+Step allocates %.1f objects/op after warm-up, want <= 1 (the closure)", allocs)
+	}
+}
+
+type countingHandler struct{ fired int }
+
+func (h *countingHandler) Fire(Time) { h.fired++ }
+
+func TestScheduleHandlerIsAllocationFree(t *testing.T) {
+	e := NewEngine()
+	h := &countingHandler{}
+	// Warm the pool.
+	for i := 0; i < 10; i++ {
+		e.ScheduleHandler(time.Millisecond, h)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleHandler(time.Millisecond, h)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleHandler+Step allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+	if h.fired < 110 {
+		t.Fatalf("handler fired %d times, want >= 110", h.fired)
+	}
+}
+
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	// The generation guard: a Timer for a fired event must not be able to
+	// cancel (or observe) the next event that reuses its pooled record.
+	e := NewEngine()
+	stale := e.Schedule(time.Second, func(Time) {})
+	e.Run() // fires; the record returns to the free list
+
+	ran := false
+	fresh := e.Schedule(time.Second, func(Time) { ran = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("free list did not recycle the record (fresh %p, stale %p)", fresh.ev, stale.ev)
+	}
+	if stale.Active() {
+		t.Fatal("stale timer reports active after its record was recycled")
+	}
+	if at, ok := stale.At(); ok || at != 0 {
+		t.Fatalf("stale timer At = %v, %v; want 0, false", at, ok)
+	}
+	e.Cancel(stale) // must be a no-op on the recycled record
+	if !fresh.Active() {
+		t.Fatal("cancelling a stale timer killed the live event sharing its record")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("live event did not fire after stale cancel attempt")
+	}
+}
+
+func TestStaleTimerCannotCancelAcrossCancelledRecycle(t *testing.T) {
+	// Same guard, but the record is recycled via the cancel path (popped
+	// dead from the heap) instead of by firing.
+	e := NewEngine()
+	stale := e.Schedule(time.Second, func(Time) { t.Error("cancelled event fired") })
+	e.Cancel(stale)
+	e.Run() // pops the dead record, recycling it
+
+	ran := false
+	fresh := e.Schedule(time.Second, func(Time) { ran = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("free list did not recycle the record")
+	}
+	e.Cancel(stale)
+	if !fresh.Active() {
+		t.Fatal("double-cancel of a stale timer killed the live event")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("live event did not fire")
 	}
 }
 

@@ -106,7 +106,10 @@ type Agent struct {
 	obs Observer
 	ext Extension
 
-	dist    map[topology.NodeID]time.Duration
+	// dist holds one-way distance estimates indexed by NodeID; -1 marks
+	// "no estimate yet". A flat slice (not a map) because Distance sits
+	// on the request/reply timer-draw hot path and node IDs are dense.
+	dist    []time.Duration
 	echo    *echoState
 	streams map[topology.NodeID]*streamState
 
@@ -137,7 +140,7 @@ func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.No
 		p:       p,
 		obs:     obs,
 		ext:     ext,
-		dist:    make(map[topology.NodeID]time.Duration),
+		dist:    newDistTable(net.Tree().NumNodes()),
 		echo:    newEchoState(),
 		streams: make(map[topology.NodeID]*streamState),
 	}
@@ -248,6 +251,17 @@ func (a *Agent) EverLost(source topology.NodeID, seq int) bool {
 	return lost
 }
 
+// newDistTable returns a distance table with every entry marked
+// unknown (-1). A recorded estimate of zero stays distinguishable from
+// "never seen", matching the semantics the map representation had.
+func newDistTable(n int) []time.Duration {
+	d := make([]time.Duration, n)
+	for i := range d {
+		d[i] = -1
+	}
+	return d
+}
+
 // Distance returns the agent's one-way distance estimate to node n,
 // falling back to Params.DefaultDistance when no session message from n
 // has been seen.
@@ -255,8 +269,10 @@ func (a *Agent) Distance(n topology.NodeID) time.Duration {
 	if n == a.id {
 		return 0
 	}
-	if d, ok := a.dist[n]; ok {
-		return d
+	if int(n) < len(a.dist) {
+		if d := a.dist[n]; d >= 0 {
+			return d
+		}
 	}
 	a.missingDists++
 	return a.p.DefaultDistance

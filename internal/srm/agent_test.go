@@ -344,7 +344,7 @@ func TestSessionDistanceEstimation(t *testing.T) {
 	// Clear primed distances to exercise estimation.
 	agents := f.agents
 	for _, a := range agents {
-		a.dist = make(map[topology.NodeID]time.Duration)
+		a.dist = newDistTable(len(a.dist))
 	}
 	for _, a := range agents {
 		a.StartSessions()
@@ -617,7 +617,7 @@ func TestDefaultDistanceFallback(t *testing.T) {
 	f := newFixture(t, yTree(), p)
 	// Wipe receiver 2's distances: its request scheduling must fall back
 	// to DefaultDistance and count the miss.
-	f.agents[2].dist = make(map[topology.NodeID]time.Duration)
+	f.agents[2].dist = newDistTable(len(f.agents[2].dist))
 	f.net.SetDropFunc(dropSeqOnLink(1, 2))
 	f.sendData(3, 100*time.Millisecond)
 	f.eng.Run()

@@ -58,7 +58,7 @@ func TestEchoRTTConvergesToTrueDistances(t *testing.T) {
 	f := newFixture(t, deepTree(), p)
 	// Clear primed distances; echo mode must learn them from scratch.
 	for _, a := range f.agents {
-		a.dist = make(map[topology.NodeID]time.Duration)
+		a.dist = newDistTable(len(a.dist))
 	}
 	for _, a := range f.agents {
 		a.StartSessions()

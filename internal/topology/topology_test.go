@@ -281,6 +281,56 @@ func TestGenerateRejectsBadSpec(t *testing.T) {
 	}
 }
 
+// lcaHopCount is the reference hop-count computation the precomputed
+// matrix must agree with.
+func lcaHopCount(tr *Tree, a, b NodeID) int {
+	l := tr.LCA(a, b)
+	return (tr.Depth(a) - tr.Depth(l)) + (tr.Depth(b) - tr.Depth(l))
+}
+
+func TestHopMatrixMatchesLCA(t *testing.T) {
+	// Random trees small enough to get the matrix: every pair must agree
+	// with the LCA-based computation.
+	for seed := int64(0); seed < 10; seed++ {
+		spec := GenSpec{Receivers: 5 + int(seed)*3, Depth: 3 + int(seed)%4}
+		tr := MustGenerate(sim.NewRNG(seed), spec)
+		if tr.hops == nil {
+			t.Fatalf("seed=%d: hop matrix not built for %d-node tree", seed, tr.NumNodes())
+		}
+		n := tr.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				got := tr.HopCount(NodeID(a), NodeID(b))
+				want := lcaHopCount(tr, NodeID(a), NodeID(b))
+				if got != want {
+					t.Fatalf("seed=%d: HopCount(%d,%d) = %d, want %d", seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHopMatrixFallbackAboveThreshold(t *testing.T) {
+	// A chain longer than hopMatrixMaxNodes must skip the matrix and
+	// still answer correctly via the LCA fallback.
+	n := hopMatrixMaxNodes + 10
+	parents := make([]NodeID, n)
+	parents[0] = None
+	for i := 1; i < n; i++ {
+		parents[i] = NodeID(i - 1)
+	}
+	tr := MustNew(parents)
+	if tr.hops != nil {
+		t.Fatalf("hop matrix built for %d-node tree, threshold is %d", n, hopMatrixMaxNodes)
+	}
+	if got := tr.HopCount(0, NodeID(n-1)); got != n-1 {
+		t.Fatalf("HopCount(0,%d) = %d, want %d", n-1, got, n-1)
+	}
+	if got := tr.HopCount(NodeID(3), NodeID(7)); got != 4 {
+		t.Fatalf("HopCount(3,7) = %d, want 4", got)
+	}
+}
+
 func TestPropertyHopCountTriangle(t *testing.T) {
 	// Property: on random trees, hop count is a metric — symmetric, zero
 	// iff equal, and satisfying the triangle inequality.
