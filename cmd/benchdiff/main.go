@@ -1,0 +1,236 @@
+// Command benchdiff compares two cesrm-bench -json snapshots — typically
+// a freshly generated one against a committed BENCH_*.json — and fails
+// (exit 1) when the fresh run regresses.
+//
+// Usage:
+//
+//	benchdiff -committed BENCH_wheel.json -fresh bench-snapshot.json \
+//	          [-scale 0.01] [-max-regression-pct 25] [-ignore-fingerprints]
+//
+// Two gates:
+//
+//  1. Behavior: every trace present in both snapshots at the compared
+//     scale must carry identical SRM and CESRM fingerprints. A mismatch
+//     means the change is not behavior-preserving and the committed
+//     snapshot (and its perf claims) no longer describe the current
+//     code.
+//  2. Performance: the fresh suite wall time must not exceed the
+//     committed one by more than -max-regression-pct percent. Wall time
+//     is machine-dependent, so the gate is deliberately loose; it
+//     catches order-of-magnitude scheduler regressions, not percent
+//     drift.
+//
+// -scale selects which swept scale entry to compare; 0 (the default)
+// picks the smallest scale present in both files, which for CI is the
+// smoke scale. Snapshots in the pre-sweep single-scale schema (top-level
+// scale/perf/traces, as in BENCH_baseline.json) are understood too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// snapshot covers both cesrm-bench schemas: the current multi-scale one
+// (runs) and the legacy single-scale one (top-level scale/perf/traces).
+type snapshot struct {
+	Seed        int64      `json:"seed"`
+	Fingerprint string     `json:"fingerprint_version"`
+	Runs        []diffRun  `json:"runs"`
+	Scale       float64    `json:"scale"`
+	Perf        diffPerf   `json:"perf"`
+	Traces      []diffItem `json:"traces"`
+}
+
+type diffRun struct {
+	Scale  float64    `json:"scale"`
+	Perf   diffPerf   `json:"perf"`
+	Traces []diffItem `json:"traces"`
+}
+
+type diffPerf struct {
+	ElapsedNS int64 `json:"suite_elapsed_ns"`
+	Parallel  int   `json:"parallel"`
+}
+
+type diffItem struct {
+	Index            int    `json:"index"`
+	Name             string `json:"name"`
+	SRMFingerprint   string `json:"srm_fingerprint"`
+	CESRMFingerprint string `json:"cesrm_fingerprint"`
+	WallNS           int64  `json:"wall_ns"`
+}
+
+// load reads a snapshot, normalizing the legacy schema to one run.
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Runs) == 0 && len(s.Traces) > 0 {
+		s.Runs = []diffRun{{Scale: s.Scale, Perf: s.Perf, Traces: s.Traces}}
+	}
+	if len(s.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs recorded", path)
+	}
+	return &s, nil
+}
+
+// pickRun returns the run entry at the given scale, or, when scale is 0,
+// the entry with the smallest scale.
+func pickRun(s *snapshot, scale float64) (*diffRun, error) {
+	if scale == 0 {
+		best := &s.Runs[0]
+		for i := range s.Runs[1:] {
+			if s.Runs[i+1].Scale < best.Scale {
+				best = &s.Runs[i+1]
+			}
+		}
+		return best, nil
+	}
+	for i := range s.Runs {
+		if s.Runs[i].Scale == scale {
+			return &s.Runs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("no run at scale %v (have %v)", scale, scales(s))
+}
+
+func scales(s *snapshot) []float64 {
+	out := make([]float64, len(s.Runs))
+	for i := range s.Runs {
+		out[i] = s.Runs[i].Scale
+	}
+	return out
+}
+
+// diff compares the two run entries and returns the gate failures.
+func diff(committed, fresh *diffRun, maxRegressionPct float64, checkFingerprints bool) []string {
+	var fails []string
+	if checkFingerprints {
+		byIndex := make(map[int]diffItem, len(committed.Traces))
+		for _, tr := range committed.Traces {
+			byIndex[tr.Index] = tr
+		}
+		compared := 0
+		for _, fr := range fresh.Traces {
+			cm, ok := byIndex[fr.Index]
+			if !ok {
+				continue
+			}
+			compared++
+			if cm.SRMFingerprint != fr.SRMFingerprint {
+				fails = append(fails, fmt.Sprintf(
+					"trace %d (%s): SRM fingerprint %s != committed %s",
+					fr.Index, fr.Name, fr.SRMFingerprint, cm.SRMFingerprint))
+			}
+			if cm.CESRMFingerprint != fr.CESRMFingerprint {
+				fails = append(fails, fmt.Sprintf(
+					"trace %d (%s): CESRM fingerprint %s != committed %s",
+					fr.Index, fr.Name, fr.CESRMFingerprint, cm.CESRMFingerprint))
+			}
+		}
+		if compared == 0 {
+			fails = append(fails, "no trace appears in both snapshots; nothing compared")
+		}
+	}
+	if committed.Perf.ElapsedNS > 0 {
+		pct := 100 * (float64(fresh.Perf.ElapsedNS) - float64(committed.Perf.ElapsedNS)) /
+			float64(committed.Perf.ElapsedNS)
+		verdict := "ok"
+		if pct > maxRegressionPct {
+			verdict = "FAIL"
+			fails = append(fails, fmt.Sprintf(
+				"suite wall time regressed %.1f%% (%.3fs -> %.3fs), budget %.0f%%",
+				pct, float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
+				maxRegressionPct))
+		}
+		fmt.Printf("wall time: committed %.3fs, fresh %.3fs (%+.1f%%, budget +%.0f%%) %s\n",
+			float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
+			pct, maxRegressionPct, verdict)
+	}
+	return fails
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	committedPath := fs.String("committed", "", "committed BENCH_*.json snapshot (required)")
+	freshPath := fs.String("fresh", "", "freshly generated cesrm-bench -json snapshot (required)")
+	scale := fs.Float64("scale", 0, "scale entry to compare (0 = smallest scale present in both)")
+	maxRegression := fs.Float64("max-regression-pct", 25, "max tolerated suite wall-time increase, percent")
+	ignoreFP := fs.Bool("ignore-fingerprints", false, "skip the fingerprint-equality gate (cross-revision perf comparisons)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *committedPath == "" || *freshPath == "" {
+		return fmt.Errorf("both -committed and -fresh are required")
+	}
+
+	committed, err := load(*committedPath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+	if committed.Fingerprint != fresh.Fingerprint {
+		return fmt.Errorf("fingerprint schema %s (committed) != %s (fresh); snapshots are not comparable",
+			committed.Fingerprint, fresh.Fingerprint)
+	}
+
+	pickScale := *scale
+	if pickScale == 0 {
+		// Smallest scale present in BOTH files: intersect, then min.
+		have := make(map[float64]bool)
+		for _, r := range committed.Runs {
+			have[r.Scale] = true
+		}
+		for _, r := range fresh.Runs {
+			if have[r.Scale] && (pickScale == 0 || r.Scale < pickScale) {
+				pickScale = r.Scale
+			}
+		}
+		if pickScale == 0 {
+			return fmt.Errorf("snapshots share no scale (committed %v, fresh %v)",
+				scales(committed), scales(fresh))
+		}
+	}
+	cr, err := pickRun(committed, pickScale)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *committedPath, err)
+	}
+	fr, err := pickRun(fresh, pickScale)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *freshPath, err)
+	}
+	if committed.Seed != fresh.Seed {
+		return fmt.Errorf("seed %d (committed) != %d (fresh); fingerprints would differ by construction",
+			committed.Seed, fresh.Seed)
+	}
+
+	fmt.Printf("benchdiff: scale=%v, %d committed traces vs %d fresh\n",
+		pickScale, len(cr.Traces), len(fr.Traces))
+	fails := diff(cr, fr, *maxRegression, !*ignoreFP)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)
+		}
+		return fmt.Errorf("%d gate failure(s)", len(fails))
+	}
+	fmt.Println("benchdiff: PASS")
+	return nil
+}

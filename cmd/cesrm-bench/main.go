@@ -4,23 +4,31 @@
 //
 // Usage:
 //
-//	cesrm-bench [-scale 0.1] [-seed 1] [-traces 1,4,7] [-section all]
+//	cesrm-bench [-scale 0.1 [-scale 1 ...]] [-seed 1] [-traces 1,4,7] [-trace WRN] [-section all]
 //	            [-delay 20ms] [-lossy] [-policy most-recent] [-router-assist]
 //	            [-json BENCH_seed1.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // At -scale 1 the full Table 1 packet volumes are simulated (hundreds of
 // thousands of packets per trace); smaller scales shrink volumes
 // proportionally while preserving loss rates and burst structure.
+// Repeating -scale (or passing a comma-separated list) sweeps the suite
+// over every given scale in order, so one invocation produces a scaling
+// curve instead of a single point.
 //
-// -json writes a machine-readable summary — per-trace determinism
-// fingerprints plus the headline metrics and a perf block (wall time and
-// allocation counts of the suite run) — so BENCH_*.json files taken
-// on different code revisions can be diffed: identical fingerprints
-// prove a change behavior-preserving, diverging metrics quantify what
-// moved, and the perf block tracks the cost trajectory.
+// -traces selects by 1-based catalog index; -trace selects by name
+// (case-insensitive substring, repeatable). Both may be combined; the
+// selection is the union, in catalog order.
 //
-// -cpuprofile and -memprofile write pprof profiles of the suite run for
-// hot-path analysis (go tool pprof).
+// -json writes a machine-readable summary: one entry per swept scale,
+// each with per-trace determinism fingerprints, headline metrics,
+// per-trace wall time, and a perf block (wall time, allocation counters,
+// peak heap) — so BENCH_*.json files taken on different code revisions
+// can be diffed: identical fingerprints prove a change
+// behavior-preserving, diverging metrics quantify what moved, and the
+// perf blocks track the cost trajectory (see cmd/benchdiff).
+//
+// -cpuprofile and -memprofile write pprof profiles of the suite run(s)
+// for hot-path analysis (go tool pprof).
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -37,29 +46,37 @@ import (
 	"cesrm/internal/core"
 	"cesrm/internal/experiment"
 	"cesrm/internal/netsim"
+	"cesrm/internal/trace"
 )
 
-// benchJSON is the -json output schema.
+// benchJSON is the -json output schema: one run entry per swept scale.
 type benchJSON struct {
-	Scale       float64          `json:"scale"`
-	Seed        int64            `json:"seed"`
-	Fingerprint string           `json:"fingerprint_version"`
-	Perf        benchPerfJSON    `json:"perf"`
-	Traces      []benchTraceJSON `json:"traces"`
+	Seed        int64          `json:"seed"`
+	Fingerprint string         `json:"fingerprint_version"`
+	GoVersion   string         `json:"go_version"`
+	Runs        []benchRunJSON `json:"runs"`
 }
 
-// benchPerfJSON records the cost of the suite run that produced the
-// file. Mallocs and AllocBytes are exact allocation counters
+// benchRunJSON records one scale's full suite pass.
+type benchRunJSON struct {
+	Scale  float64          `json:"scale"`
+	Perf   benchPerfJSON    `json:"perf"`
+	Traces []benchTraceJSON `json:"traces"`
+}
+
+// benchPerfJSON records the cost of the suite pass that produced the
+// entry. Mallocs and AllocBytes are exact allocation counters
 // (runtime.MemStats deltas) and are stable across runs of the same
-// binary; ElapsedNS is wall time and varies with the machine. Comparing
+// binary; ElapsedNS is wall time and PeakHeapBytes is a sampled
+// live-heap high-water mark — both vary with the machine. Comparing
 // these blocks across code revisions — with identical fingerprints
 // proving the runs behaviorally equal — quantifies a perf change.
 type benchPerfJSON struct {
-	ElapsedNS  int64  `json:"suite_elapsed_ns"`
-	Mallocs    uint64 `json:"suite_mallocs"`
-	AllocBytes uint64 `json:"suite_alloc_bytes"`
-	Parallel   int    `json:"parallel"`
-	GoVersion  string `json:"go_version"`
+	ElapsedNS     int64  `json:"suite_elapsed_ns"`
+	Mallocs       uint64 `json:"suite_mallocs"`
+	AllocBytes    uint64 `json:"suite_alloc_bytes"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	Parallel      int    `json:"parallel"`
 }
 
 type benchTraceJSON struct {
@@ -73,15 +90,11 @@ type benchTraceJSON struct {
 	ExpeditedSuccessPct float64 `json:"expedited_success_pct"`
 	SRMFinishedAtNS     int64   `json:"srm_finished_at_ns"`
 	CESRMFinishedAtNS   int64   `json:"cesrm_finished_at_ns"`
+	WallNS              int64   `json:"wall_ns"`
 }
 
-func writeJSON(path string, scale float64, seed int64, perf benchPerfJSON, results []experiment.SuiteResult) error {
-	out := benchJSON{
-		Scale:       scale,
-		Seed:        seed,
-		Fingerprint: fmt.Sprintf("v%d", experiment.FingerprintVersion),
-		Perf:        perf,
-	}
+func benchRun(scale float64, perf benchPerfJSON, results []experiment.SuiteResult) benchRunJSON {
+	out := benchRunJSON{Scale: scale, Perf: perf}
 	for _, r := range results {
 		p := r.Pair
 		succ, _ := p.ExpeditedSuccess()
@@ -96,8 +109,13 @@ func writeJSON(path string, scale float64, seed int64, perf benchPerfJSON, resul
 			ExpeditedSuccessPct: succ,
 			SRMFinishedAtNS:     int64(p.SRM.FinishedAt),
 			CESRMFinishedAtNS:   int64(p.CESRM.FinishedAt),
+			WallNS:              r.Elapsed.Nanoseconds(),
 		})
 	}
+	return out
+}
+
+func writeJSON(path string, out benchJSON) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -111,6 +129,141 @@ func writeJSON(path string, scale float64, seed int64, perf benchPerfJSON, resul
 	return f.Close()
 }
 
+// scaleFlag collects repeated (or comma-separated) -scale values.
+type scaleFlag []float64
+
+func (s *scaleFlag) String() string {
+	parts := make([]string, len(*s))
+	for i, v := range *s {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *scaleFlag) Set(v string) error {
+	for _, f := range strings.Split(v, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("bad scale %q: %w", f, err)
+		}
+		if x <= 0 || x > 1 {
+			return fmt.Errorf("scale %v outside (0, 1]", x)
+		}
+		*s = append(*s, x)
+	}
+	return nil
+}
+
+// nameFlag collects repeated (or comma-separated) -trace name filters.
+type nameFlag []string
+
+func (n *nameFlag) String() string { return strings.Join(*n, ",") }
+
+func (n *nameFlag) Set(v string) error {
+	for _, f := range strings.Split(v, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return fmt.Errorf("empty trace name filter")
+		}
+		*n = append(*n, f)
+	}
+	return nil
+}
+
+// selectTraces resolves the -traces index list and -trace name filters
+// to a sorted, deduplicated list of 1-based catalog indices. An empty
+// selection (no flags) returns nil, meaning all traces.
+func selectTraces(indexList string, names nameFlag) ([]int, error) {
+	pick := make(map[int]bool)
+	any := false
+	if indexList != "" {
+		any = true
+		for _, f := range strings.Split(indexList, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad trace index %q: %w", f, err)
+			}
+			pick[i] = true
+		}
+	}
+	if len(names) > 0 {
+		any = true
+		for _, name := range names {
+			matched := false
+			for _, e := range trace.Catalog {
+				if strings.Contains(strings.ToLower(e.Name), strings.ToLower(name)) {
+					pick[e.Index] = true
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("-trace %q matches no catalog trace", name)
+			}
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	var out []int
+	for _, e := range trace.Catalog {
+		if pick[e.Index] {
+			out = append(out, e.Index)
+			delete(pick, e.Index)
+		}
+	}
+	// Whatever remains never matched a catalog entry; keep it so the
+	// suite reports the out-of-range index.
+	for i := range pick {
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// heapSampler tracks the live-heap high-water mark while a suite pass
+// runs. runtime.MemStats.HeapAlloc is sampled on a coarse ticker; the
+// stop-the-world cost of ReadMemStats is microseconds, negligible
+// against the sampling period.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler(interval time.Duration) *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > s.peak {
+					s.peak = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling and returns the peak observed live heap, folding
+// in one final sample so short passes never report zero.
+func (s *heapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > s.peak {
+		s.peak = m.HeapAlloc
+	}
+	return s.peak
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cesrm-bench:", err)
@@ -120,31 +273,31 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cesrm-bench", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.1, "trace volume scale in (0,1]; 1 = full Table 1 volumes")
+	var scales scaleFlag
+	fs.Var(&scales, "scale", "trace volume scale in (0,1]; 1 = full Table 1 volumes; repeatable (or comma-separated) to sweep")
 	seed := fs.Int64("seed", 1, "base random seed")
 	traces := fs.String("traces", "", "comma-separated 1-based trace indices (default: all 14)")
+	var traceNames nameFlag
+	fs.Var(&traceNames, "trace", "trace name filter (case-insensitive substring); repeatable, unioned with -traces")
 	section := fs.String("section", "all", "output section: all, table1, sec42, summary, fig1, fig2, fig3, fig4, fig5, fig1bars, fig5bars, compare, fingerprints")
 	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
 	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link loss rates")
 	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
 	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
-	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf) to this file")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
-	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the suite run to this file")
+	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf, one entry per scale) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run(s) to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the suite run(s) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if len(scales) == 0 {
+		scales = scaleFlag{0.1}
+	}
 
-	var indices []int
-	if *traces != "" {
-		for _, f := range strings.Split(*traces, ",") {
-			i, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				return fmt.Errorf("bad trace index %q: %w", f, err)
-			}
-			indices = append(indices, i)
-		}
+	indices, err := selectTraces(*traces, traceNames)
+	if err != nil {
+		return err
 	}
 
 	netCfg := netsim.DefaultConfig()
@@ -160,20 +313,6 @@ func run(args []string) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	suite := experiment.Suite{
-		Scale:    *scale,
-		Seed:     *seed,
-		Traces:   indices,
-		Parallel: *parallel,
-		Base: experiment.RunConfig{
-			Net:           netCfg,
-			CESRM:         cesrmCfg,
-			LossyRecovery: *lossy,
-		},
-	}
-	fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v\n\n",
-		*scale, *seed, *delay, *lossy, *policy, *routerAssist)
-
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -185,16 +324,89 @@ func run(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	var m0 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	started := time.Now()
-	results, err := suite.Run()
-	elapsed := time.Since(started)
-	var m1 runtime.MemStats
-	runtime.ReadMemStats(&m1)
-	if err != nil {
-		return err
+
+	out := benchJSON{
+		Seed:        *seed,
+		Fingerprint: fmt.Sprintf("v%d", experiment.FingerprintVersion),
+		GoVersion:   runtime.Version(),
 	}
+	for si, scale := range scales {
+		suite := experiment.Suite{
+			Scale:    scale,
+			Seed:     *seed,
+			Traces:   indices,
+			Parallel: *parallel,
+			Base: experiment.RunConfig{
+				Net:           netCfg,
+				CESRM:         cesrmCfg,
+				LossyRecovery: *lossy,
+			},
+		}
+		if si > 0 {
+			fmt.Println(strings.Repeat("=", 72))
+			// Isolate sweep entries from one another: return the previous
+			// pass's heap to the OS so each scale's perf block reflects a
+			// near-fresh process rather than the prior pass's heap layout
+			// and GC pacing (which otherwise distorts wall time severely
+			// on memory-pressured machines).
+			debug.FreeOSMemory()
+		}
+		fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v\n\n",
+			scale, *seed, *delay, *lossy, *policy, *routerAssist)
+
+		sampler := startHeapSampler(20 * time.Millisecond)
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		started := time.Now()
+		results, err := suite.Run()
+		elapsed := time.Since(started)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		peak := sampler.Stop()
+		if err != nil {
+			return err
+		}
+
+		switch *section {
+		case "all":
+			experiment.RenderAll(os.Stdout, results)
+		case "table1":
+			experiment.RenderTable1(os.Stdout, results)
+		case "sec42":
+			experiment.RenderSec42(os.Stdout, results)
+		case "summary":
+			experiment.RenderSummary(os.Stdout, results)
+		case "fig1":
+			experiment.RenderFigure1(os.Stdout, results)
+		case "fig2":
+			experiment.RenderFigure2(os.Stdout, results)
+		case "fig3":
+			experiment.RenderFigure3(os.Stdout, results)
+		case "fig4":
+			experiment.RenderFigure4(os.Stdout, results)
+		case "fig5":
+			experiment.RenderFigure5(os.Stdout, results)
+		case "fig1bars":
+			experiment.RenderFigure1Bars(os.Stdout, results)
+		case "fig5bars":
+			experiment.RenderFigure5Bars(os.Stdout, results)
+		case "compare":
+			experiment.RenderComparison(os.Stdout, results, *seed)
+		case "fingerprints":
+			experiment.RenderFingerprints(os.Stdout, results)
+		default:
+			return fmt.Errorf("unknown section %q", *section)
+		}
+
+		out.Runs = append(out.Runs, benchRun(scale, benchPerfJSON{
+			ElapsedNS:     elapsed.Nanoseconds(),
+			Mallocs:       m1.Mallocs - m0.Mallocs,
+			AllocBytes:    m1.TotalAlloc - m0.TotalAlloc,
+			PeakHeapBytes: peak,
+			Parallel:      *parallel,
+		}, results))
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -210,46 +422,8 @@ func run(args []string) error {
 		}
 	}
 
-	switch *section {
-	case "all":
-		experiment.RenderAll(os.Stdout, results)
-	case "table1":
-		experiment.RenderTable1(os.Stdout, results)
-	case "sec42":
-		experiment.RenderSec42(os.Stdout, results)
-	case "summary":
-		experiment.RenderSummary(os.Stdout, results)
-	case "fig1":
-		experiment.RenderFigure1(os.Stdout, results)
-	case "fig2":
-		experiment.RenderFigure2(os.Stdout, results)
-	case "fig3":
-		experiment.RenderFigure3(os.Stdout, results)
-	case "fig4":
-		experiment.RenderFigure4(os.Stdout, results)
-	case "fig5":
-		experiment.RenderFigure5(os.Stdout, results)
-	case "fig1bars":
-		experiment.RenderFigure1Bars(os.Stdout, results)
-	case "fig5bars":
-		experiment.RenderFigure5Bars(os.Stdout, results)
-	case "compare":
-		experiment.RenderComparison(os.Stdout, results, *seed)
-	case "fingerprints":
-		experiment.RenderFingerprints(os.Stdout, results)
-	default:
-		return fmt.Errorf("unknown section %q", *section)
-	}
-
 	if *jsonPath != "" {
-		perf := benchPerfJSON{
-			ElapsedNS:  elapsed.Nanoseconds(),
-			Mallocs:    m1.Mallocs - m0.Mallocs,
-			AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
-			Parallel:   *parallel,
-			GoVersion:  runtime.Version(),
-		}
-		if err := writeJSON(*jsonPath, *scale, *seed, perf, results); err != nil {
+		if err := writeJSON(*jsonPath, out); err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -51,10 +52,17 @@ func TestRunWritesJSONSummary(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("summary is not valid JSON: %v", err)
 	}
-	if len(out.Traces) != 1 || out.Traces[0].Index != 13 {
-		t.Fatalf("summary traces = %+v, want exactly trace 13", out.Traces)
+	if len(out.Runs) != 1 {
+		t.Fatalf("summary has %d runs, want 1", len(out.Runs))
 	}
-	tr := out.Traces[0]
+	run0 := out.Runs[0]
+	if run0.Scale != 0.005 {
+		t.Fatalf("run scale = %v, want 0.005", run0.Scale)
+	}
+	if len(run0.Traces) != 1 || run0.Traces[0].Index != 13 {
+		t.Fatalf("summary traces = %+v, want exactly trace 13", run0.Traces)
+	}
+	tr := run0.Traces[0]
 	if tr.SRMFingerprint == "" || tr.CESRMFingerprint == "" {
 		t.Fatal("summary missing fingerprints")
 	}
@@ -63,6 +71,15 @@ func TestRunWritesJSONSummary(t *testing.T) {
 	}
 	if tr.LatencyReductionPct <= 0 {
 		t.Fatalf("latency reduction %.1f%%, want positive", tr.LatencyReductionPct)
+	}
+	if tr.WallNS <= 0 {
+		t.Fatalf("per-trace wall time %d ns, want positive", tr.WallNS)
+	}
+	if run0.Perf.ElapsedNS < tr.WallNS {
+		t.Fatalf("suite elapsed %d ns < trace wall %d ns", run0.Perf.ElapsedNS, tr.WallNS)
+	}
+	if run0.Perf.PeakHeapBytes == 0 {
+		t.Fatal("peak heap not recorded")
 	}
 
 	// The JSON summary must be reproducible: a second identical
@@ -79,9 +96,57 @@ func TestRunWritesJSONSummary(t *testing.T) {
 	if err := json.Unmarshal(data2, &out2); err != nil {
 		t.Fatal(err)
 	}
-	if out2.Traces[0].SRMFingerprint != tr.SRMFingerprint ||
-		out2.Traces[0].CESRMFingerprint != tr.CESRMFingerprint {
+	if out2.Runs[0].Traces[0].SRMFingerprint != tr.SRMFingerprint ||
+		out2.Runs[0].Traces[0].CESRMFingerprint != tr.CESRMFingerprint {
 		t.Fatal("fingerprints diverged across identical invocations")
+	}
+}
+
+func TestRunScaleSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	err := run([]string{"-scale", "0.004", "-scale", "0.006", "-traces", "13",
+		"-section", "fingerprints", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 2 || out.Runs[0].Scale != 0.004 || out.Runs[1].Scale != 0.006 {
+		t.Fatalf("sweep runs = %+v, want scales [0.004 0.006] in order", out.Runs)
+	}
+	if out.Runs[0].Traces[0].SRMFingerprint == out.Runs[1].Traces[0].SRMFingerprint {
+		t.Fatal("different scales produced identical fingerprints")
+	}
+}
+
+func TestRunTraceNameFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_name.json")
+	// "wrn" matches the two WRN* catalog traces, case-insensitively.
+	err := run([]string{"-scale", "0.004", "-trace", "wrn", "-section", "fingerprints", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 || len(out.Runs[0].Traces) == 0 {
+		t.Fatalf("name filter selected %d traces, want at least 1", len(out.Runs[0].Traces))
+	}
+	for _, tr := range out.Runs[0].Traces {
+		if !strings.Contains(strings.ToLower(tr.Name), "wrn") {
+			t.Fatalf("name filter selected %q, want only WRN traces", tr.Name)
+		}
 	}
 }
 
@@ -97,5 +162,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-traces", "99", "-scale", "0.005"}); err == nil {
 		t.Fatal("out-of-range trace accepted")
+	}
+	if err := run([]string{"-scale", "0"}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run([]string{"-scale", "1.5"}); err == nil {
+		t.Fatal("scale beyond 1 accepted")
+	}
+	if err := run([]string{"-scale", "0.005", "-trace", "nosuchtrace"}); err == nil {
+		t.Fatal("unmatched trace name filter accepted")
 	}
 }

@@ -98,14 +98,19 @@ func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.No
 	if policy == nil {
 		policy = MostRecentLoss{}
 	}
+	// Cold-path maps, pre-sized from the receiver count so the steady
+	// state never rehashes: one cache per observed source (usually just
+	// the tree root, but any host may transmit), and a bounded number of
+	// expedited-request timers pending at once.
+	nr := len(net.Tree().Receivers())
 	a := &Agent{
 		net:        net,
 		eng:        eng,
 		cfg:        cfg,
-		caches:     make(map[topology.NodeID]*Cache),
+		caches:     make(map[topology.NodeID]*Cache, 1+nr/16),
 		capacity:   capacity,
 		policy:     policy,
-		pendingExp: make(map[sourceSeq]sim.Timer),
+		pendingExp: make(map[sourceSeq]sim.Timer, 8+nr/4),
 	}
 	// The SRM agent registers itself with the network; re-register the
 	// wrapper so expedited requests are intercepted here first.

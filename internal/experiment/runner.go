@@ -250,7 +250,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// Every run carries an online invariant validator alongside the
 	// metrics collector.
 	collector := stats.New()
+	collector.Reserve(tree.NumNodes())
 	validator := stats.NewValidator()
+	validator.Reserve(tree.NumNodes())
 	recorder := stats.NewRecorder(eng.Now)
 	observer := stats.Tee{collector, validator, recorder}
 	hosts := append([]topology.NodeID{source}, tree.Receivers()...)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"cesrm/internal/lossinfer"
 	"cesrm/internal/trace"
@@ -30,6 +31,13 @@ type Suite struct {
 	// are identical to a serial run; ordering in the output is
 	// preserved. Zero or one means serial.
 	Parallel int
+	// KeepEvents retains each run's ordered protocol-event stream on the
+	// returned results. The stream is only needed for timeline debugging
+	// (stats.WriteEventsNDJSON); the fingerprint digests it during the
+	// run, so sweeps leave this false and let the suite drop the streams
+	// as soon as each pair finishes, keeping peak heap proportional to
+	// one trace's metrics instead of every trace's full event history.
+	KeepEvents bool
 }
 
 // SuiteResult holds one trace's pair plus its generation target.
@@ -41,6 +49,11 @@ type SuiteResult struct {
 	// suite output is comparable across processes and code revisions.
 	SRMFingerprint   string
 	CESRMFingerprint string
+	// Elapsed is the wall time the pair took to simulate (both
+	// protocols, excluding trace loading). Under Parallel it includes
+	// scheduler contention; comparable across revisions only at
+	// Parallel=1.
+	Elapsed time.Duration
 }
 
 // Run executes the suite, optionally simulating traces concurrently
@@ -63,30 +76,46 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		}
 	}
 
-	runOne := func(idx int) (SuiteResult, error) {
-		entry := trace.Catalog[idx-1]
-		tr, err := entry.Load(scale)
+	// Load every selected trace exactly once, up front. Traces and their
+	// topologies are immutable after Load, so the SRM and CESRM runs of a
+	// pair (and, under Parallel, concurrent goroutines) share the same
+	// *trace.Trace without copying.
+	traces := make([]*trace.Trace, len(selected))
+	for i, idx := range selected {
+		tr, err := trace.Catalog[idx-1].Load(scale)
 		if err != nil {
-			return SuiteResult{}, err
+			return nil, err
 		}
+		traces[i] = tr
+	}
+
+	runOne := func(i, idx int) (SuiteResult, error) {
+		entry := trace.Catalog[idx-1]
 		base := s.Base
 		base.Seed = s.Seed + int64(idx)
-		pair, err := RunPair(tr, PairConfig{Base: base})
+		started := time.Now()
+		pair, err := RunPair(traces[i], PairConfig{Base: base})
+		elapsed := time.Since(started)
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("experiment: trace %d (%s): %w", idx, entry.Name, err)
+		}
+		if !s.KeepEvents {
+			pair.SRM.Events = nil
+			pair.CESRM.Events = nil
 		}
 		return SuiteResult{
 			Entry:            entry,
 			Pair:             pair,
 			SRMFingerprint:   pair.SRM.Fingerprint,
 			CESRMFingerprint: pair.CESRM.Fingerprint,
+			Elapsed:          elapsed,
 		}, nil
 	}
 
 	out := make([]SuiteResult, len(selected))
 	if s.Parallel <= 1 {
 		for i, idx := range selected {
-			r, err := runOne(idx)
+			r, err := runOne(i, idx)
 			if err != nil {
 				return nil, err
 			}
@@ -106,14 +135,21 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		go func(i, idx int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i], errs[i] = runOne(idx)
+			out[i], errs[i] = runOne(i, idx)
 		}(i, idx)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Surface the failure of the lowest catalog index, not whichever
+	// position happens to come first in the selection: errors then read
+	// the same regardless of how -traces ordered the selection.
+	errIdx := -1
+	for i, err := range errs {
+		if err != nil && (errIdx == -1 || selected[i] < selected[errIdx]) {
+			errIdx = i
 		}
+	}
+	if errIdx != -1 {
+		return nil, errs[errIdx]
 	}
 	return out, nil
 }

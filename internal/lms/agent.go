@@ -107,8 +107,15 @@ type Agent struct {
 	highestKnown  int
 	advertPending int
 
-	losses  map[int]*lossState
-	pending map[int][]pendingNAK
+	// losses and pending are dense seq-indexed windows (nil/empty = no
+	// state for that packet), mirroring the srm.Agent slice conversion:
+	// per-packet map hashing is avoidable because sequence numbers are
+	// contiguous from 0.
+	losses  []*lossState
+	pending [][]pendingNAK
+	// outstanding counts detected-but-unrecovered losses, keeping the
+	// monitor's per-period Outstanding polls O(1).
+	outstanding int
 
 	stopped bool
 	crashed bool
@@ -136,8 +143,6 @@ func NewAgent(eng *sim.Engine, net *netsim.Network, fabric *Fabric, id topology.
 		obs:           obs,
 		highestKnown:  -1,
 		advertPending: -1,
-		losses:        make(map[int]*lossState),
-		pending:       make(map[int][]pendingNAK),
 	}
 	net.AttachHost(id, a)
 	return a, nil
@@ -177,7 +182,9 @@ func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
 	for _, ls := range a.losses {
-		a.eng.Cancel(ls.timer)
+		if ls != nil {
+			a.eng.Cancel(ls.timer)
+		}
 	}
 	a.fabric.ReportCrash(a.id)
 }
@@ -220,22 +227,22 @@ func (a *Agent) ClassifiedThrough(source topology.NodeID) int { return a.cursor 
 // RecoveryTime returns when packet seq was recovered, if this host
 // detected its loss and has since recovered it.
 func (a *Agent) RecoveryTime(seq int) (sim.Time, bool) {
-	ls, ok := a.losses[seq]
-	if !ok || !ls.recovered {
+	ls := a.loss(seq)
+	if ls == nil || !ls.recovered {
 		return 0, false
 	}
 	return ls.recoveredAt, true
 }
 
 // Outstanding returns the number of unrecovered detected losses.
-func (a *Agent) Outstanding() int {
-	n := 0
-	for _, ls := range a.losses {
-		if !ls.recovered {
-			n++
-		}
+func (a *Agent) Outstanding() int { return a.outstanding }
+
+// loss returns the loss state for seq, nil when never detected lost.
+func (a *Agent) loss(seq int) *lossState {
+	if seq < 0 || seq >= len(a.losses) {
+		return nil
 	}
-	return n
+	return a.losses[seq]
 }
 
 func (a *Agent) markReceived(seq int) {
@@ -276,9 +283,10 @@ func (a *Agent) receivePacket(now sim.Time, seq int, requestor, replier topology
 		return
 	}
 	a.markReceived(seq)
-	if ls, ok := a.losses[seq]; ok && !ls.recovered {
+	if ls := a.loss(seq); ls != nil && !ls.recovered {
 		ls.recovered = true
 		ls.recoveredAt = now
+		a.outstanding--
 		a.eng.Cancel(ls.timer)
 		a.obs.Recovered(a.id, a.source, seq, now, srm.RecoveryInfo{
 			Requestor:   requestor,
@@ -291,8 +299,9 @@ func (a *Agent) receivePacket(now sim.Time, seq int, requestor, replier topology
 		a.cursor = seq + 1
 	}
 	// Serve NAKs that were waiting on this packet.
-	if waiting, ok := a.pending[seq]; ok {
-		delete(a.pending, seq)
+	if seq < len(a.pending) && len(a.pending[seq]) > 0 {
+		waiting := a.pending[seq]
+		a.pending[seq] = nil
 		for _, w := range waiting {
 			a.sendRepair(seq, w)
 		}
@@ -314,11 +323,15 @@ func (a *Agent) detectThrough(now sim.Time, x int) {
 // suppression delay, the point of router-assisted recovery — and
 // retries with exponential back-off until the repair arrives.
 func (a *Agent) detectLoss(now sim.Time, seq int) {
-	if _, ok := a.losses[seq]; ok {
+	if a.loss(seq) != nil {
 		return
 	}
 	ls := &lossState{detectedAt: now}
+	for len(a.losses) <= seq {
+		a.losses = append(a.losses, nil)
+	}
 	a.losses[seq] = ls
+	a.outstanding++
 	a.obs.LossDetected(a.id, a.source, seq, now)
 	a.sendNAK(now, seq, ls)
 }
@@ -350,6 +363,9 @@ func (a *Agent) onNAK(now sim.Time, m *NAKMsg) {
 		return
 	}
 	// Deduplicate by origin subtree: one repair per subtree suffices.
+	for len(a.pending) <= m.Seq {
+		a.pending = append(a.pending, nil)
+	}
 	for _, p := range a.pending[m.Seq] {
 		if p.originChild == w.originChild {
 			return

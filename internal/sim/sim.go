@@ -7,6 +7,15 @@
 // for the trace-driven protocol experiments built on top of this package,
 // so no wall-clock time or global randomness is consulted anywhere.
 //
+// The event queue is a hierarchical timer wheel (see DESIGN.md for the
+// geometry and the ordering argument): scheduling and cancellation are
+// O(1), and the per-event dispatch cost is a small constant plus an
+// amortized share of one sort of the event's final same-tick bucket.
+// This replaces the earlier binary heap, whose O(log n) churn dominated
+// full-scale runs — SRM's suppression machinery schedules and cancels
+// timers for every loss on every host, and the transmission schedule
+// keeps hundreds of thousands of far-future events resident.
+//
 // The engine is also allocation-lean: scheduled-event records are
 // recycled through a free list (guarded by a generation counter so a
 // stale Timer can never cancel a recycled event), and hot callers can
@@ -15,8 +24,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
+	"sort"
 	"time"
 )
 
@@ -61,10 +71,33 @@ type EventHandler interface {
 	Fire(now Time)
 }
 
+// Timer wheel geometry. A tick is 2^tickBits nanoseconds of virtual
+// time (~1.05ms); each level has 2^levelBits buckets, and level L
+// buckets span 64^L ticks. Four levels cover deltas up to 64^4 ticks
+// (~4.9 hours of virtual time) before the overflow list is needed —
+// comfortably past the longest full-scale trace horizon, so overflow is
+// effectively never exercised by the experiments.
+const (
+	tickBits   = 20
+	levelBits  = 6
+	numLevels  = 4
+	numBuckets = 1 << levelBits
+	levelMask  = numBuckets - 1
+)
+
+// evList list identities beyond the wheel buckets (evList.level).
+const (
+	dueLevel      = -1
+	overflowLevel = -2
+)
+
 // scheduledEvent is an entry in the event queue. Records are pooled:
-// after firing (or after a cancelled record leaves the heap) the record
-// returns to the engine's free list and its generation is bumped, so
-// Timers referring to the previous occupancy become permanently inert.
+// after firing or being cancelled the record returns to the engine's
+// free list and its generation is bumped, so Timers referring to the
+// previous occupancy become permanently inert. While scheduled, the
+// record is linked into exactly one intrusive list — a wheel bucket,
+// the overflow list, or the sorted due list — which is what makes
+// cancellation an O(1) unlink.
 type scheduledEvent struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among events at the same instant
@@ -73,67 +106,89 @@ type scheduledEvent struct {
 	// gen counts how many times this record has been recycled. A Timer
 	// captures the generation at scheduling time; any mismatch means the
 	// record now belongs to a different event.
-	gen  uint64
-	dead bool // cancelled events stay in the heap but are skipped
-	pos  int  // heap index, maintained by eventQueue
+	gen uint64
+
+	prev, next *scheduledEvent
+	in         *evList // the list currently holding the record, nil when free
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
-type eventQueue []*scheduledEvent
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].pos = i
-	q[j].pos = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.pos = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.pos = -1
-	*q = old[:n-1]
-	return ev
+// evList is an intrusive doubly-linked event list: a wheel bucket, the
+// overflow list, or the due list. Buckets carry their (level, idx) so
+// unlinking the last event can clear the occupancy bitmap bit.
+type evList struct {
+	head, tail *scheduledEvent
+	level      int8 // 0..numLevels-1 for buckets, dueLevel, or overflowLevel
+	idx        int8 // bucket index within the level (buckets only)
 }
 
 // Engine drives a single simulation run. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
 	nextSeq uint64
 	stopped bool
 	// executed counts events that have been dispatched, for diagnostics
 	// and run-away detection in tests.
 	executed uint64
-	// dead counts cancelled events still occupying the queue; when they
-	// outnumber the live events the queue is compacted (see Cancel).
-	dead int
+
+	// cur is the wheel cursor tick. Invariant between operations: every
+	// event in the wheel levels has tick > cur (events at tick <= cur
+	// live in the due list), and every event in overflow has
+	// tick-cur >= 64^numLevels as of its last placement.
+	cur      uint64
+	levels   [numLevels][numBuckets]evList
+	occupied [numLevels]uint64 // per-level bucket-occupancy bitmaps
+
+	// overflow holds events beyond the wheel horizon; it is rescanned
+	// whenever cur crosses a 64^numLevels boundary.
+	overflow evList
+
+	// due is the dispatch staging list: all live events with
+	// tick <= cur, kept sorted by (at, seq). Step pops its head.
+	due evList
+
+	// live is the number of scheduled, uncancelled events anywhere in
+	// the structure — Pending() in O(1).
+	live int
+
 	// free holds recycled event records. Its length is bounded by the
-	// peak live queue size, so steady-state scheduling allocates nothing.
+	// peak live event count, so steady-state scheduling allocates
+	// nothing.
 	free []*scheduledEvent
+
+	// scratch and sorter are reused by bucket drains so that sorting a
+	// tick's events allocates nothing in steady state.
+	scratch []*scheduledEvent
+	sorter  evSorter
+}
+
+// evSorter sorts a drained bucket by (at, seq). It lives in the Engine
+// so the sort.Interface conversion never allocates.
+type evSorter struct{ s []*scheduledEvent }
+
+func (v *evSorter) Len() int      { return len(v.s) }
+func (v *evSorter) Swap(i, j int) { v.s[i], v.s[j] = v.s[j], v.s[i] }
+func (v *evSorter) Less(i, j int) bool {
+	if v.s[i].at != v.s[j].at {
+		return v.s[i].at < v.s[j].at
+	}
+	return v.s[i].seq < v.s[j].seq
 }
 
 // NewEngine returns an engine positioned at virtual time zero with an
 // empty event queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	for l := 0; l < numLevels; l++ {
+		for i := 0; i < numBuckets; i++ {
+			b := &e.levels[l][i]
+			b.level = int8(l)
+			b.idx = int8(i)
+		}
+	}
+	e.due.level = dueLevel
+	e.overflow.level = overflowLevel
+	return e
 }
 
 // Now returns the current virtual time. During event execution this is
@@ -143,14 +198,14 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events dispatched so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of live (non-cancelled) events in the queue.
-func (e *Engine) Pending() int { return len(e.queue) - e.dead }
+// Pending returns the number of live (non-cancelled) scheduled events.
+func (e *Engine) Pending() int { return e.live }
 
 // Timer identifies a scheduled event and allows cancelling it before it
 // fires. The zero Timer is invalid. A Timer pins the (record, generation)
-// pair it was issued for: once the event fires or its cancelled record is
-// recycled, the Timer is inert — it can neither cancel nor observe the
-// record's next occupant.
+// pair it was issued for: once the event fires or is cancelled the
+// record's generation is bumped, so the Timer is inert — it can neither
+// cancel nor observe the record's next occupant.
 type Timer struct {
 	ev  *scheduledEvent
 	gen uint64
@@ -159,7 +214,7 @@ type Timer struct {
 // Active reports whether the timer is scheduled and has neither fired
 // nor been cancelled.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead && t.ev.pos >= 0
+	return t.ev != nil && t.ev.gen == t.gen
 }
 
 // At returns the instant the timer is scheduled to fire. The second
@@ -187,7 +242,6 @@ func (e *Engine) alloc(at Time) *scheduledEvent {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.dead = false
 	} else {
 		ev = &scheduledEvent{}
 	}
@@ -197,16 +251,219 @@ func (e *Engine) alloc(at Time) *scheduledEvent {
 	return ev
 }
 
-// release recycles a record that has left the heap (fired, or cancelled
-// and popped/compacted away). Bumping the generation first makes every
-// outstanding Timer for the old occupancy inert before the record can be
-// handed out again.
+// release recycles a record that has been unlinked (fired or cancelled).
+// Bumping the generation first makes every outstanding Timer for the old
+// occupancy inert before the record can be handed out again.
 func (e *Engine) release(ev *scheduledEvent) {
 	ev.gen++
 	ev.fn = nil
 	ev.h = nil
-	ev.dead = true
 	e.free = append(e.free, ev)
+}
+
+// pushBack appends ev to l, setting the occupancy bit for buckets.
+func (e *Engine) pushBack(l *evList, ev *scheduledEvent) {
+	ev.prev = l.tail
+	ev.next = nil
+	ev.in = l
+	if l.tail != nil {
+		l.tail.next = ev
+	} else {
+		l.head = ev
+	}
+	l.tail = ev
+	if l.level >= 0 {
+		e.occupied[l.level] |= 1 << uint(l.idx)
+	}
+}
+
+// unlink removes ev from its current list, clearing the occupancy bit
+// when a bucket empties.
+func (e *Engine) unlink(ev *scheduledEvent) {
+	l := ev.in
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		l.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		l.tail = ev.prev
+	}
+	ev.prev, ev.next, ev.in = nil, nil, nil
+	if l.head == nil && l.level >= 0 {
+		e.occupied[l.level] &^= 1 << uint(l.idx)
+	}
+}
+
+// place files a newly scheduled event. Events at or before the cursor
+// tick merge into the sorted due list (this happens when handlers
+// schedule within the tick being dispatched, or when RunUntil/peek
+// advanced the cursor past Now); later events go to the wheel level
+// whose span covers their delta, or to overflow beyond the horizon.
+func (e *Engine) place(ev *scheduledEvent) {
+	tick := uint64(ev.at) >> tickBits
+	if tick <= e.cur {
+		e.dueInsert(ev)
+		return
+	}
+	e.placeWheel(ev, tick)
+}
+
+// placeWheel files an event with tick >= cur into the wheel proper.
+// Cascades use it directly (never the due list) so that a bucket drain
+// remains the only operation that fills due — see the ordering argument
+// in DESIGN.md.
+func (e *Engine) placeWheel(ev *scheduledEvent, tick uint64) {
+	switch delta := tick - e.cur; {
+	case delta < 1<<levelBits:
+		e.pushBack(&e.levels[0][tick&levelMask], ev)
+	case delta < 1<<(2*levelBits):
+		e.pushBack(&e.levels[1][(tick>>levelBits)&levelMask], ev)
+	case delta < 1<<(3*levelBits):
+		e.pushBack(&e.levels[2][(tick>>(2*levelBits))&levelMask], ev)
+	case delta < 1<<(4*levelBits):
+		e.pushBack(&e.levels[3][(tick>>(3*levelBits))&levelMask], ev)
+	default:
+		e.pushBack(&e.overflow, ev)
+	}
+}
+
+// dueInsert merges ev into the sorted due list by (at, seq), scanning
+// from the tail: fresh schedules carry the highest seq so they land at
+// or near the tail.
+func (e *Engine) dueInsert(ev *scheduledEvent) {
+	pos := e.due.tail
+	for pos != nil && (pos.at > ev.at || (pos.at == ev.at && pos.seq > ev.seq)) {
+		pos = pos.prev
+	}
+	ev.in = &e.due
+	ev.prev = pos
+	if pos != nil {
+		ev.next = pos.next
+		pos.next = ev
+	} else {
+		ev.next = e.due.head
+		e.due.head = ev
+	}
+	if ev.next != nil {
+		ev.next.prev = ev
+	} else {
+		e.due.tail = ev
+	}
+}
+
+// ensureDue makes the due list non-empty if any live event exists,
+// advancing the wheel cursor to the next occupied tick (cascading
+// higher levels at their window boundaries) and draining that tick's
+// bucket, sorted by (at, seq), into due. Returns false when no live
+// events remain.
+func (e *Engine) ensureDue() bool {
+	if e.due.head != nil {
+		return true
+	}
+	if e.live == 0 {
+		return false
+	}
+	for {
+		// Search level 0 from the cursor to its rotation boundary. Bits
+		// below idx0 belong to the next rotation and must not be taken
+		// before the boundary cascade refills this level.
+		idx0 := e.cur & levelMask
+		if w := e.occupied[0] >> uint(idx0); w != 0 {
+			d := uint64(bits.TrailingZeros64(w))
+			e.cur += d
+			e.drainBucket(int(idx0 + d))
+			return true
+		}
+		// Nothing before the boundary: advance to it and cascade the
+		// higher-level windows that open there.
+		e.cur = (e.cur | levelMask) + 1
+		e.cascade()
+	}
+}
+
+// drainBucket empties level-0 bucket idx into the due list in (at, seq)
+// order. A level-0 bucket holds events of exactly one tick (see
+// DESIGN.md), so the sorted bucket is a contiguous run of the global
+// dispatch order.
+func (e *Engine) drainBucket(idx int) {
+	l := &e.levels[0][idx]
+	e.scratch = e.scratch[:0]
+	for ev := l.head; ev != nil; {
+		next := ev.next
+		ev.prev, ev.next, ev.in = nil, nil, nil
+		e.scratch = append(e.scratch, ev)
+		ev = next
+	}
+	l.head, l.tail = nil, nil
+	e.occupied[0] &^= 1 << uint(idx)
+	if len(e.scratch) > 1 {
+		e.sorter.s = e.scratch
+		sort.Sort(&e.sorter)
+	}
+	for _, ev := range e.scratch {
+		ev.in = &e.due
+		ev.prev = e.due.tail
+		if e.due.tail != nil {
+			e.due.tail.next = ev
+		} else {
+			e.due.head = ev
+		}
+		e.due.tail = ev
+	}
+}
+
+// cascade redistributes, at a level-0 rotation boundary, every
+// higher-level bucket whose window opens at the new cursor, and rescans
+// the overflow list when the cursor crosses the wheel horizon.
+func (e *Engine) cascade() {
+	for l := 1; l < numLevels; l++ {
+		if e.cur&(1<<uint(levelBits*l)-1) != 0 {
+			break
+		}
+		idx := (e.cur >> uint(levelBits*l)) & levelMask
+		if e.occupied[l]&(1<<uint(idx)) != 0 {
+			e.moveBucketDown(l, int(idx))
+		}
+	}
+	if e.cur&(1<<uint(levelBits*numLevels)-1) == 0 {
+		e.rescanOverflow()
+	}
+}
+
+// moveBucketDown re-places every event of bucket (level, idx) into the
+// lower levels. All its events have tick in [cur, cur+64^level), so
+// they re-place strictly below the source level and never behind the
+// cursor.
+func (e *Engine) moveBucketDown(level, idx int) {
+	l := &e.levels[level][idx]
+	ev := l.head
+	l.head, l.tail = nil, nil
+	e.occupied[level] &^= 1 << uint(idx)
+	for ev != nil {
+		next := ev.next
+		ev.prev, ev.next, ev.in = nil, nil, nil
+		e.placeWheel(ev, uint64(ev.at)>>tickBits)
+		ev = next
+	}
+}
+
+// rescanOverflow moves overflow events that now fall within the wheel
+// horizon into their levels. Events still beyond the horizon are left
+// in place.
+func (e *Engine) rescanOverflow() {
+	ev := e.overflow.head
+	for ev != nil {
+		next := ev.next
+		tick := uint64(ev.at) >> tickBits
+		if tick-e.cur < 1<<uint(levelBits*numLevels) {
+			e.unlink(ev)
+			e.placeWheel(ev, tick)
+		}
+		ev = next
+	}
 }
 
 // ScheduleAt registers fn to run at the given instant.
@@ -216,7 +473,8 @@ func (e *Engine) ScheduleAt(at Time, fn Event) Timer {
 	}
 	ev := e.alloc(at)
 	ev.fn = fn
-	heap.Push(&e.queue, ev)
+	e.place(ev)
+	e.live++
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -239,7 +497,8 @@ func (e *Engine) ScheduleHandlerAt(at Time, h EventHandler) Timer {
 	}
 	ev := e.alloc(at)
 	ev.h = h
-	heap.Push(&e.queue, ev)
+	e.place(ev)
+	e.live++
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -252,82 +511,46 @@ func (e *Engine) ScheduleHandler(delay Duration, h EventHandler) Timer {
 	return e.ScheduleHandlerAt(e.now.Add(delay), h)
 }
 
-// compactThreshold is the minimum queue length before Cancel considers
-// compaction; below it the dead entries are too few to matter.
-const compactThreshold = 64
-
-// Cancel deactivates the timer. Cancelling an already-fired or
-// already-cancelled timer is a no-op, so callers can cancel defensively;
-// a timer whose record has been recycled for a newer event is likewise a
-// no-op (the generation check), so stale handles cannot kill live events.
-// When cancelled entries come to outnumber live ones the queue is
-// compacted, so long runs that cancel many timers (suppression is
-// SRM's bread and butter) keep the heap proportional to the live load.
+// Cancel deactivates the timer: the record is unlinked from its list in
+// place and recycled immediately — O(1), no dead entries to skip or
+// compact later. Cancelling an already-fired or already-cancelled timer
+// is a no-op, so callers can cancel defensively; a timer whose record
+// has been recycled for a newer event is likewise a no-op (the
+// generation check), so stale handles cannot kill live events.
 func (e *Engine) Cancel(t Timer) {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
+	if t.ev == nil || t.ev.gen != t.gen {
 		return
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
-	t.ev.h = nil
-	if t.ev.pos >= 0 {
-		e.dead++
-		if e.dead > len(e.queue)/2 && len(e.queue) >= compactThreshold {
-			e.compact()
-		}
-	}
-}
-
-// compact rebuilds the queue without dead entries, recycling them. Heap
-// order is a pure function of (at, seq), both immutable after
-// scheduling, so compaction cannot perturb dispatch order.
-func (e *Engine) compact() {
-	live := e.queue[:0]
-	for _, ev := range e.queue {
-		if ev.dead {
-			ev.pos = -1
-			e.release(ev)
-			continue
-		}
-		live = append(live, ev)
-	}
-	for i := len(live); i < len(e.queue); i++ {
-		e.queue[i] = nil
-	}
-	e.queue = live
-	for i, ev := range e.queue {
-		ev.pos = i
-	}
-	heap.Init(&e.queue)
-	e.dead = 0
+	// A matching generation implies the record is currently scheduled
+	// (firing or cancelling bumps the generation), hence linked.
+	e.unlink(t.ev)
+	e.live--
+	e.release(t.ev)
 }
 
 // Step executes the next pending event, advancing the clock to its
 // instant. It returns false when the queue is exhausted or the engine
 // has been stopped.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*scheduledEvent)
-		if ev.dead {
-			e.dead--
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		fn, h := ev.fn, ev.h
-		// Recycle before dispatch: the handler may schedule new events,
-		// and reusing this record for them is exactly what the generation
-		// guard makes safe.
-		e.release(ev)
-		e.executed++
-		if h != nil {
-			h.Fire(e.now)
-		} else {
-			fn(e.now)
-		}
-		return true
+	if e.stopped || !e.ensureDue() {
+		return false
 	}
-	return false
+	ev := e.due.head
+	e.unlink(ev)
+	e.live--
+	e.now = ev.at
+	fn, h := ev.fn, ev.h
+	// Recycle before dispatch: the handler may schedule new events,
+	// and reusing this record for them is exactly what the generation
+	// guard makes safe.
+	e.release(ev)
+	e.executed++
+	if h != nil {
+		h.Fire(e.now)
+	} else {
+		fn(e.now)
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called. It
@@ -367,14 +590,8 @@ func (e *Engine) Stopped() bool { return e.stopped }
 
 // peek reports the instant of the next live event.
 func (e *Engine) peek() (Time, bool) {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.dead {
-			return ev.at, true
-		}
-		heap.Pop(&e.queue)
-		e.dead--
-		e.release(ev)
+	if !e.ensureDue() {
+		return 0, false
 	}
-	return 0, false
+	return e.due.head.at, true
 }

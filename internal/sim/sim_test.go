@@ -426,12 +426,12 @@ func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
 }
 
 func TestStaleTimerCannotCancelAcrossCancelledRecycle(t *testing.T) {
-	// Same guard, but the record is recycled via the cancel path (popped
-	// dead from the heap) instead of by firing.
+	// Same guard, but the record is recycled via the cancel path (unlinked
+	// from its wheel bucket in place) instead of by firing.
 	e := NewEngine()
 	stale := e.Schedule(time.Second, func(Time) { t.Error("cancelled event fired") })
-	e.Cancel(stale)
-	e.Run() // pops the dead record, recycling it
+	e.Cancel(stale) // unlinks and recycles the record immediately
+	e.Run()
 
 	ran := false
 	fresh := e.Schedule(time.Second, func(Time) { ran = true })
@@ -464,7 +464,10 @@ func TestRunUntilStoppedKeepsClockAtStopPoint(t *testing.T) {
 	}
 }
 
-func TestCancelCompactsHeap(t *testing.T) {
+func TestCancelReclaimsRecordsImmediately(t *testing.T) {
+	// Cancel is an O(1) in-place unlink: the record must return to the
+	// free list at cancel time, leaving no dead entries for dispatch to
+	// skip and keeping the wheel proportional to the live load.
 	e := NewEngine()
 	const n = 1000
 	timers := make([]Timer, 0, n)
@@ -472,7 +475,6 @@ func TestCancelCompactsHeap(t *testing.T) {
 		d := time.Duration(i%97+1) * time.Millisecond
 		timers = append(timers, e.Schedule(d, func(Time) {}))
 	}
-	// Cancel all but every tenth timer; dead entries must not linger.
 	for i, tm := range timers {
 		if i%10 != 0 {
 			e.Cancel(tm)
@@ -481,15 +483,15 @@ func TestCancelCompactsHeap(t *testing.T) {
 	if got, want := e.Pending(), n/10; got != want {
 		t.Fatalf("Pending = %d, want %d", got, want)
 	}
-	if len(e.queue) > n/5 {
-		t.Fatalf("heap holds %d entries after mass cancel, want compaction below %d", len(e.queue), n/5)
+	if got, want := len(e.free), n-n/10; got < want {
+		t.Fatalf("free list holds %d records after mass cancel, want >= %d (immediate reclaim)", got, want)
 	}
 	// The surviving events must still dispatch in time order, completely.
 	var last Time
 	steps := 0
 	for e.Step() {
 		if e.Now().Before(last) {
-			t.Fatal("compaction perturbed dispatch order")
+			t.Fatal("cancellation perturbed dispatch order")
 		}
 		last = e.Now()
 		steps++
@@ -499,12 +501,12 @@ func TestCancelCompactsHeap(t *testing.T) {
 	}
 }
 
-func TestCompactionPreservesFIFOWithinInstant(t *testing.T) {
+func TestCancelPreservesFIFOWithinInstant(t *testing.T) {
 	e := NewEngine()
 	var got []int
 	var doomed []Timer
-	// Interleave keepers and cancellations at the same instant so a
-	// compaction rebuild between them would expose any tie-break damage.
+	// Interleave keepers and cancellations at the same instant so the
+	// in-place unlinks would expose any tie-break damage.
 	for i := 0; i < 200; i++ {
 		i := i
 		e.Schedule(time.Second, func(Time) { got = append(got, i) })
@@ -519,7 +521,7 @@ func TestCompactionPreservesFIFOWithinInstant(t *testing.T) {
 	}
 	for i, v := range got {
 		if v != i {
-			t.Fatalf("same-instant order broken after compaction: got[%d] = %d", i, v)
+			t.Fatalf("same-instant order broken after cancellation: got[%d] = %d", i, v)
 		}
 	}
 }

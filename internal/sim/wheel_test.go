@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refRecord is one scheduled event in the reference queue: the lazy
+// dead-marking binary heap the wheel replaced. The property tests drive
+// the wheel and this reference with identical schedule/cancel/advance
+// sequences and assert identical pop order.
+type refRecord struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+type refQueue []*refRecord
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refRecord)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return r
+}
+
+// wheelHarness drives the engine and the reference heap in lockstep.
+type wheelHarness struct {
+	t      *testing.T
+	e      *Engine
+	ref    refQueue
+	seq    uint64
+	nextID int
+	byID   map[int]*refRecord
+	timers map[int]Timer
+	stale  []Timer // fired or cancelled handles, for stale-cancel probes
+	got    []int   // engine dispatch order (ids)
+	gotAt  []Time
+	rng    *rand.Rand
+}
+
+func newWheelHarness(t *testing.T, seed int64) *wheelHarness {
+	return &wheelHarness{
+		t:      t,
+		e:      NewEngine(),
+		byID:   map[int]*refRecord{},
+		timers: map[int]Timer{},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// delay picks delays that stress every placement class: zero delays,
+// same-tick ties, single- and multi-level wheel deltas, exact level
+// window boundaries, and beyond-horizon overflow.
+func (h *wheelHarness) delay() time.Duration {
+	switch h.rng.Intn(10) {
+	case 0:
+		return 0
+	case 1: // sub-tick: lands in the current or next tick
+		return time.Duration(h.rng.Int63n(int64(1) << tickBits))
+	case 2, 3: // same-instant ties across schedules
+		return time.Duration(1+h.rng.Int63n(20)) * 5 * time.Millisecond
+	case 4: // level-0/1 range
+		return time.Duration(h.rng.Int63n(int64(1) << (tickBits + levelBits)))
+	case 5: // level-2 range
+		return time.Duration(h.rng.Int63n(int64(1) << (tickBits + 2*levelBits)))
+	case 6: // level-3 range (minutes to hours)
+		return time.Duration(h.rng.Int63n(int64(1) << (tickBits + 3*levelBits)))
+	case 7: // exact level window boundaries
+		shift := uint(tickBits + levelBits*(1+h.rng.Intn(numLevels)))
+		return time.Duration(int64(1) << shift)
+	case 8: // beyond the wheel horizon: overflow list
+		return time.Duration(int64(1)<<(tickBits+levelBits*numLevels) +
+			h.rng.Int63n(int64(time.Hour)))
+	default:
+		return time.Duration(h.rng.Int63n(int64(10 * time.Second)))
+	}
+}
+
+// spawn schedules one event in both structures. Fired events may spawn
+// children (nested scheduling mid-dispatch, including same-instant
+// children that must merge into the tick being drained).
+func (h *wheelHarness) spawn(d time.Duration, depth int) {
+	id := h.nextID
+	h.nextID++
+	at := h.e.Now().Add(d)
+	rec := &refRecord{at: at, seq: h.seq, id: id}
+	h.seq++
+	h.byID[id] = rec
+	heap.Push(&h.ref, rec)
+	h.timers[id] = h.e.Schedule(d, func(now Time) {
+		h.got = append(h.got, id)
+		h.gotAt = append(h.gotAt, now)
+		h.stale = append(h.stale, h.timers[id])
+		delete(h.timers, id)
+		if depth < 2 && h.rng.Intn(4) == 0 {
+			for n := h.rng.Intn(3); n > 0; n-- {
+				h.spawn(h.delay(), depth+1)
+			}
+		}
+	})
+}
+
+// cancelRandomLive cancels a uniformly chosen live timer in both
+// structures; on the reference this is the lazy dead-mark the old heap
+// used, on the wheel it is an O(1) unlink.
+func (h *wheelHarness) cancelRandomLive() {
+	if len(h.timers) == 0 {
+		return
+	}
+	// Deterministic pick: the smallest id among up to 8 probes.
+	pick := -1
+	for i := 0; i < 8; i++ {
+		id := h.rng.Intn(h.nextID)
+		if _, ok := h.timers[id]; ok && (pick == -1 || id < pick) {
+			pick = id
+		}
+	}
+	if pick == -1 {
+		for id := range h.timers {
+			if pick == -1 || id < pick {
+				pick = id
+			}
+		}
+	}
+	h.e.Cancel(h.timers[pick])
+	h.stale = append(h.stale, h.timers[pick])
+	delete(h.timers, pick)
+	h.byID[pick].dead = true
+}
+
+// popRef yields the reference queue's next live record.
+func (h *wheelHarness) popRef() *refRecord {
+	for h.ref.Len() > 0 {
+		r := heap.Pop(&h.ref).(*refRecord)
+		if !r.dead {
+			return r
+		}
+	}
+	return nil
+}
+
+// verify drains both queues and asserts identical pop order.
+func (h *wheelHarness) verify() {
+	h.e.Run()
+	for i, id := range h.got {
+		r := h.popRef()
+		if r == nil {
+			h.t.Fatalf("engine dispatched %d events, reference ran dry at %d", len(h.got), i)
+		}
+		if r.id != id {
+			h.t.Fatalf("dispatch %d: engine fired id %d, reference heap pops id %d", i, id, r.id)
+		}
+		if h.gotAt[i] != r.at {
+			h.t.Fatalf("dispatch %d (id %d): engine at %v, reference at %v", i, id, h.gotAt[i], r.at)
+		}
+	}
+	if r := h.popRef(); r != nil {
+		h.t.Fatalf("engine dispatched %d events, reference heap still holds id %d", len(h.got), r.id)
+	}
+	if h.e.Pending() != 0 {
+		h.t.Fatalf("Pending = %d after drain, want 0", h.e.Pending())
+	}
+}
+
+// run performs ops random operations, then drains and verifies.
+func (h *wheelHarness) run(ops int) {
+	for op := 0; op < ops; op++ {
+		switch h.rng.Intn(10) {
+		case 0, 1, 2, 3: // schedule a small batch, often with shared instants
+			d := h.delay()
+			for n := 1 + h.rng.Intn(3); n > 0; n-- {
+				h.spawn(d, 0)
+			}
+		case 4:
+			h.spawn(h.delay(), 0)
+		case 5, 6:
+			h.cancelRandomLive()
+		case 7: // stale-cancel probe: must be inert in both structures
+			if len(h.stale) > 0 {
+				h.e.Cancel(h.stale[h.rng.Intn(len(h.stale))])
+			}
+		case 8: // advance a few events
+			for n := 1 + h.rng.Intn(4); n > 0 && h.e.Step(); n-- {
+			}
+		case 9: // advance to a deadline that may split a tick
+			h.e.RunUntil(h.e.Now().Add(h.delay()))
+		}
+	}
+	h.verify()
+}
+
+func TestWheelMatchesReferenceHeapProperty(t *testing.T) {
+	// Property: for any interleaving of schedules (including same-tick
+	// ties and nested mid-dispatch schedules), cancels (including stale
+	// handles aimed at recycled records), and advancement (Step and
+	// RunUntil), the wheel dispatches exactly the live events, in exactly
+	// the order a reference (at, seq) binary heap pops them.
+	for seed := int64(1); seed <= 25; seed++ {
+		h := newWheelHarness(t, seed)
+		h.run(400)
+		if t.Failed() {
+			t.Fatalf("failed with seed %d", seed)
+		}
+	}
+}
+
+func FuzzWheelMatchesReferenceHeap(f *testing.F) {
+	f.Add(int64(42), uint16(200))
+	f.Add(int64(-7), uint16(1000))
+	f.Add(int64(1<<40), uint16(50))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16) {
+		h := newWheelHarness(t, seed)
+		h.run(int(ops)%2000 + 1)
+	})
+}
+
+func TestPendingStaysLiveSizedAfterMassCancel(t *testing.T) {
+	// Regression for the wheel's O(1)-cancel contract: after cancelling
+	// almost everything, Pending is exact, every cancelled record has
+	// been recycled to the free list, and subsequent scheduling reuses
+	// those records instead of allocating.
+	e := NewEngine()
+	const n = 50_000
+	const keep = 50
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i%9973) * time.Millisecond
+		timers = append(timers, e.Schedule(d, func(Time) {}))
+	}
+	for i, tm := range timers {
+		if i%(n/keep) != 0 {
+			e.Cancel(tm)
+		}
+	}
+	if got := e.Pending(); got != keep {
+		t.Fatalf("Pending = %d after mass cancel, want %d", got, keep)
+	}
+	if got := len(e.free); got != n-keep {
+		t.Fatalf("free list holds %d records, want %d (cancel must reclaim in place)", got, n-keep)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := e.Schedule(time.Hour, func(Time) {})
+		e.Cancel(tm)
+	})
+	// Only the closure may allocate; the records must come from the pool.
+	if allocs > 1 {
+		t.Fatalf("Schedule+Cancel allocates %.1f objects/op with a warm pool, want <= 1", allocs)
+	}
+	steps := 0
+	for e.Step() {
+		steps++
+	}
+	if steps != keep {
+		t.Fatalf("dispatched %d events, want %d", steps, keep)
+	}
+}
+
+func TestOverflowEventsDispatchInOrder(t *testing.T) {
+	// Events beyond the wheel horizon (64^4 ticks ≈ 4.9h) park in the
+	// overflow list and must re-enter the wheel at a horizon crossing
+	// without losing their global order.
+	e := NewEngine()
+	var got []int
+	horizon := time.Duration(int64(1) << (tickBits + levelBits*numLevels))
+	delays := []time.Duration{
+		time.Second,
+		horizon - time.Millisecond,
+		horizon + time.Minute,
+		2*horizon + time.Second,
+		horizon,
+		3 * time.Hour,
+	}
+	order := make([]int, len(delays))
+	for i, d := range delays {
+		i, d := i, d
+		e.Schedule(d, func(Time) { got = append(got, i) })
+		order[i] = i
+	}
+	e.Run()
+	want := []int{0, 5, 1, 4, 2, 3} // delays sorted ascending
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflow dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelledTimerInOverflowIsReclaimed(t *testing.T) {
+	e := NewEngine()
+	horizon := time.Duration(int64(1) << (tickBits + levelBits*numLevels))
+	tm := e.Schedule(horizon+time.Hour, func(Time) { t.Error("cancelled overflow event fired") })
+	keep := false
+	e.Schedule(time.Second, func(Time) { keep = true })
+	e.Cancel(tm)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if !keep {
+		t.Fatal("surviving event did not fire")
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("run ended at %v, want 1s (overflow event cancelled)", e.Now())
+	}
+}

@@ -61,8 +61,12 @@ type streamState struct {
 	// session-triggered detection pass has been scheduled.
 	advertPending int
 
-	losses  map[int]*lossRecord
-	replies map[int]*replyState
+	// losses and replies are dense seq-indexed windows (nil = no state
+	// for that packet), not maps: both sit on the per-packet request and
+	// reply paths, where hashing every lookup dominated full-scale runs,
+	// and sequence numbers are contiguous from 0 by construction.
+	losses  []*lossRecord
+	replies []*replyState
 }
 
 func newStreamState(source topology.NodeID) *streamState {
@@ -70,14 +74,50 @@ func newStreamState(source topology.NodeID) *streamState {
 		source:        source,
 		highestKnown:  -1,
 		advertPending: -1,
-		losses:        make(map[int]*lossRecord),
-		replies:       make(map[int]*replyState),
 	}
 }
 
 // has reports possession of seq within the stream.
 func (st *streamState) has(seq int) bool {
 	return seq >= 0 && seq < len(st.received) && st.received[seq]
+}
+
+// loss returns the loss record for seq, nil when the packet was never
+// classified lost.
+func (st *streamState) loss(seq int) *lossRecord {
+	if seq < 0 || seq >= len(st.losses) {
+		return nil
+	}
+	return st.losses[seq]
+}
+
+// setLoss installs the loss record for seq, growing the window.
+func (st *streamState) setLoss(seq int, ls *lossRecord) {
+	for len(st.losses) <= seq {
+		st.losses = append(st.losses, nil)
+	}
+	st.losses[seq] = ls
+}
+
+// reply returns the reply state for seq, nil when absent.
+func (st *streamState) reply(seq int) *replyState {
+	if seq < 0 || seq >= len(st.replies) {
+		return nil
+	}
+	return st.replies[seq]
+}
+
+// ensureReply returns the reply state for seq, creating it on first use.
+func (st *streamState) ensureReply(seq int) *replyState {
+	for len(st.replies) <= seq {
+		st.replies = append(st.replies, nil)
+	}
+	rs := st.replies[seq]
+	if rs == nil {
+		rs = &replyState{}
+		st.replies[seq] = rs
+	}
+	return rs
 }
 
 func (st *streamState) markReceived(seq int) {
@@ -109,13 +149,19 @@ type Agent struct {
 	// dist holds one-way distance estimates indexed by NodeID; -1 marks
 	// "no estimate yet". A flat slice (not a map) because Distance sits
 	// on the request/reply timer-draw hot path and node IDs are dense.
-	dist    []time.Duration
-	echo    *echoState
-	streams map[topology.NodeID]*streamState
+	dist []time.Duration
+	echo *echoState
+	// streams is NodeID-indexed like dist (nil = no state for that
+	// source); stream lookup happens on every delivered packet.
+	streams []*streamState
 
 	stopped      bool
 	crashed      bool
 	missingDists int
+	// outstanding counts detected-but-unrecovered losses across all
+	// streams, so the monitor's per-period Outstanding polls are O(1)
+	// instead of walking every loss record ever created.
+	outstanding int
 
 	adaptiveCfg AdaptiveConfig
 	adaptive    adaptiveState
@@ -142,7 +188,7 @@ func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.No
 		ext:     ext,
 		dist:    newDistTable(net.Tree().NumNodes()),
 		echo:    newEchoState(),
-		streams: make(map[topology.NodeID]*streamState),
+		streams: make([]*streamState, net.Tree().NumNodes()),
 	}
 	net.AttachHost(id, a)
 	return a, nil
@@ -157,20 +203,25 @@ func (a *Agent) Params() Params { return a.p }
 // stream returns (creating on first use) the state for the given
 // source's stream.
 func (a *Agent) stream(source topology.NodeID) *streamState {
-	st, ok := a.streams[source]
-	if !ok {
+	for int(source) >= len(a.streams) {
+		a.streams = append(a.streams, nil)
+	}
+	st := a.streams[source]
+	if st == nil {
 		st = newStreamState(source)
 		a.streams[source] = st
 	}
 	return st
 }
 
-// Sources lists the sources this agent has state for, in unspecified
-// order.
+// Sources lists the sources this agent has state for, in ascending
+// NodeID order.
 func (a *Agent) Sources() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(a.streams))
-	for s := range a.streams {
-		out = append(out, s)
+	var out []topology.NodeID
+	for id, st := range a.streams {
+		if st != nil {
+			out = append(out, topology.NodeID(id))
+		}
 	}
 	return out
 }
@@ -188,11 +239,18 @@ func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
 	for _, st := range a.streams {
+		if st == nil {
+			continue
+		}
 		for _, ls := range st.losses {
-			a.eng.Cancel(ls.timer)
+			if ls != nil {
+				a.eng.Cancel(ls.timer)
+			}
 		}
 		for _, rs := range st.replies {
-			a.eng.Cancel(rs.timer)
+			if rs != nil {
+				a.eng.Cancel(rs.timer)
+			}
 		}
 	}
 }
@@ -202,17 +260,7 @@ func (a *Agent) Crashed() bool { return a.crashed }
 
 // Outstanding returns the number of detected losses not yet recovered,
 // across all streams.
-func (a *Agent) Outstanding() int {
-	n := 0
-	for _, st := range a.streams {
-		for _, ls := range st.losses {
-			if !ls.recovered {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (a *Agent) Outstanding() int { return a.outstanding }
 
 // ClassifiedThrough returns the lowest sequence number of the source's
 // stream not yet classified as received-or-lost.
@@ -220,11 +268,19 @@ func (a *Agent) ClassifiedThrough(source topology.NodeID) int {
 	return a.stream(source).cursor
 }
 
+// peek returns the stream state for source without creating it.
+func (a *Agent) peek(source topology.NodeID) *streamState {
+	if int(source) >= len(a.streams) {
+		return nil
+	}
+	return a.streams[source]
+}
+
 // Has reports whether the agent holds packet seq of the source's stream
 // (received it, recovered it, or originally sent it).
 func (a *Agent) Has(source topology.NodeID, seq int) bool {
-	st, ok := a.streams[source]
-	return ok && st.has(seq)
+	st := a.peek(source)
+	return st != nil && st.has(seq)
 }
 
 // MissingIn returns how many of the packets [0, n) of the source's
@@ -243,12 +299,8 @@ func (a *Agent) MissingIn(source topology.NodeID, n int) int {
 // EverLost reports whether the agent ever classified seq of the
 // source's stream as lost, regardless of later recovery.
 func (a *Agent) EverLost(source topology.NodeID, seq int) bool {
-	st, ok := a.streams[source]
-	if !ok {
-		return false
-	}
-	_, lost := st.losses[seq]
-	return lost
+	st := a.peek(source)
+	return st != nil && st.loss(seq) != nil
 }
 
 // newDistTable returns a distance table with every entry marked
@@ -298,10 +350,10 @@ func (a *Agent) sessionTick(now sim.Time) {
 	if a.stopped {
 		return
 	}
-	highest := make(map[topology.NodeID]int, len(a.streams))
+	highest := make(map[topology.NodeID]int, 2)
 	for src, st := range a.streams {
-		if st.highestKnown >= 0 {
-			highest[src] = st.highestKnown
+		if st != nil && st.highestKnown >= 0 {
+			highest[topology.NodeID(src)] = st.highestKnown
 		}
 	}
 	m := &SessionMsg{From: a.id, SentAt: now, Highest: highest}
@@ -361,9 +413,10 @@ func (a *Agent) receivePacket(now sim.Time, st *streamState, seq int, reply *Rep
 		return // duplicate
 	}
 	st.markReceived(seq)
-	if ls, ok := st.losses[seq]; ok && !ls.recovered {
+	if ls := st.loss(seq); ls != nil && !ls.recovered {
 		ls.recovered = true
 		ls.recoveredAt = now
+		a.outstanding--
 		a.eng.Cancel(ls.timer)
 		info := RecoveryInfo{
 			Requestor:   topology.None,
@@ -408,11 +461,12 @@ func (a *Agent) detectThrough(now sim.Time, st *streamState, x int) {
 // timer uniformly within [C1*d, (C1+C2)*d] of the distance to the
 // source, and give the CESRM extension its chance to expedite.
 func (a *Agent) detectLoss(now sim.Time, st *streamState, seq int) {
-	if _, ok := st.losses[seq]; ok {
+	if st.loss(seq) != nil {
 		return
 	}
 	ls := &lossRecord{detectedAt: now}
-	st.losses[seq] = ls
+	st.setLoss(seq, ls)
+	a.outstanding++
 	a.scheduleRequest(st, ls, seq)
 	ls.k = 1
 	a.obs.LossDetected(a.id, st.source, seq, now)
@@ -443,8 +497,8 @@ func (a *Agent) backoffFactor(k int) float64 {
 // requestTimerFired multicasts a repair request for seq and schedules
 // the next round (§2.1).
 func (a *Agent) requestTimerFired(now sim.Time, st *streamState, seq int) {
-	ls, ok := st.losses[seq]
-	if !ok || ls.recovered {
+	ls := st.loss(seq)
+	if ls == nil || ls.recovered {
 		return
 	}
 	m := &RequestMsg{
@@ -480,7 +534,7 @@ func (a *Agent) rescheduleRequest(now sim.Time, st *streamState, ls *lossRecord,
 func (a *Agent) onRequest(now sim.Time, m *RequestMsg) {
 	st := a.stream(m.Source)
 	st.noteExists(m.Seq)
-	if ls, ok := st.losses[m.Seq]; ok && !ls.recovered {
+	if ls := st.loss(m.Seq); ls != nil && !ls.recovered {
 		// We share the loss. If our own request is scheduled and we are
 		// outside the back-off abstinence period, this request
 		// suppresses ours: back off to the next round.
@@ -506,11 +560,7 @@ func (a *Agent) onRequest(now sim.Time, m *RequestMsg) {
 // considerReply schedules a repair reply for a request if none is
 // scheduled or pending (§2.2).
 func (a *Agent) considerReply(now sim.Time, st *streamState, m *RequestMsg) {
-	rs := st.replies[m.Seq]
-	if rs == nil {
-		rs = &replyState{}
-		st.replies[m.Seq] = rs
-	}
+	rs := st.ensureReply(m.Seq)
 	if now.Before(rs.pendingUntil) {
 		return // reply abstinence: discard the request
 	}
@@ -533,7 +583,7 @@ func (a *Agent) considerReply(now sim.Time, st *streamState, m *RequestMsg) {
 // replyTimerFired multicasts the scheduled repair reply and starts the
 // reply abstinence period.
 func (a *Agent) replyTimerFired(now sim.Time, st *streamState, seq int) {
-	rs := st.replies[seq]
+	rs := st.reply(seq)
 	if rs == nil || !st.has(seq) {
 		return
 	}
@@ -556,13 +606,9 @@ func (a *Agent) replyTimerFired(now sim.Time, st *streamState, seq int) {
 // abstinence period (§2.2).
 func (a *Agent) onReply(now sim.Time, m *ReplyMsg) {
 	st := a.stream(m.Source)
-	if rs, ok := st.replies[m.Seq]; ok && rs.timer.Active() {
+	rs := st.ensureReply(m.Seq)
+	if rs.timer.Active() {
 		a.eng.Cancel(rs.timer)
-	}
-	rs := st.replies[m.Seq]
-	if rs == nil {
-		rs = &replyState{}
-		st.replies[m.Seq] = rs
 	}
 	abstain := now.Add(sim.Scale(a.Distance(m.Requestor), a.p.D3))
 	if abstain.After(rs.pendingUntil) {
@@ -639,13 +685,19 @@ type LossReport struct {
 }
 
 // Losses returns reports for every loss this agent detected across all
-// streams, in unspecified order.
+// streams, ordered by (source, seq).
 func (a *Agent) Losses() []LossReport {
 	var out []LossReport
 	for src, st := range a.streams {
+		if st == nil {
+			continue
+		}
 		for seq, ls := range st.losses {
+			if ls == nil {
+				continue
+			}
 			out = append(out, LossReport{
-				Source:      src,
+				Source:      topology.NodeID(src),
 				Seq:         seq,
 				DetectedAt:  ls.detectedAt,
 				Recovered:   ls.recovered,
@@ -663,12 +715,12 @@ func (a *Agent) Losses() []LossReport {
 // currently scheduled or pending on this host; an expedited replier
 // must stay silent in that case (§3.2).
 func (a *Agent) ReplyBlocked(now sim.Time, source topology.NodeID, seq int) bool {
-	st, ok := a.streams[source]
-	if !ok {
+	st := a.peek(source)
+	if st == nil {
 		return false
 	}
-	rs, ok := st.replies[seq]
-	if !ok {
+	rs := st.reply(seq)
+	if rs == nil {
 		return false
 	}
 	return rs.timer.Active() || now.Before(rs.pendingUntil)
@@ -718,11 +770,7 @@ func (a *Agent) SendExpeditedReply(now sim.Time, m *RequestMsg, subcast bool) bo
 		a.net.Multicast(a.id, pkt)
 	}
 	a.obs.ReplySent(a.id, m.Source, m.Seq, true)
-	rs := st.replies[m.Seq]
-	if rs == nil {
-		rs = &replyState{}
-		st.replies[m.Seq] = rs
-	}
+	rs := st.ensureReply(m.Seq)
 	rs.pendingUntil = now.Add(sim.Scale(a.Distance(m.Requestor), a.p.D3))
 	return true
 }

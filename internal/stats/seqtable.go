@@ -1,0 +1,88 @@
+package stats
+
+import "cesrm/internal/topology"
+
+// seqTable is a dense replacement for map[hostSeq]T: per-host, per-source
+// slices indexed by sequence number. Host IDs are dense (tree node
+// indices), sequence numbers are contiguous from 0, and the number of
+// sources per run is tiny, so a linear scan over a host's streams beats
+// hashing a 3-field key on every per-packet observation. The zero value
+// is empty and usable.
+type seqTable[T any] struct {
+	hosts [][]seqStream[T]
+}
+
+// seqStream holds one (host, source) stream's per-seq values.
+type seqStream[T any] struct {
+	source topology.NodeID
+	vals   []T
+}
+
+// get returns a pointer to the value for (host, source, seq), or nil
+// when no value was ever stored at or beyond that coordinate.
+func (t *seqTable[T]) get(host, source topology.NodeID, seq int) *T {
+	if int(host) >= len(t.hosts) || seq < 0 {
+		return nil
+	}
+	for i := range t.hosts[host] {
+		s := &t.hosts[host][i]
+		if s.source == source {
+			if seq < len(s.vals) {
+				return &s.vals[seq]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// ensure returns a pointer to the value for (host, source, seq),
+// growing the table as needed. New cells are zero values.
+func (t *seqTable[T]) ensure(host, source topology.NodeID, seq int) *T {
+	for int(host) >= len(t.hosts) {
+		t.hosts = append(t.hosts, nil)
+	}
+	idx := -1
+	for i := range t.hosts[host] {
+		if t.hosts[host][i].source == source {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		t.hosts[host] = append(t.hosts[host], seqStream[T]{source: source})
+		idx = len(t.hosts[host]) - 1
+	}
+	s := &t.hosts[host][idx]
+	for len(s.vals) <= seq {
+		var zero T
+		s.vals = append(s.vals, zero)
+	}
+	return &s.vals[seq]
+}
+
+// forEach visits every stored cell in deterministic order: hosts in
+// ascending NodeID order, a host's streams in first-stored order, and
+// sequence numbers ascending.
+func (t *seqTable[T]) forEach(fn func(host, source topology.NodeID, seq int, v *T)) {
+	for h := range t.hosts {
+		for i := range t.hosts[h] {
+			s := &t.hosts[h][i]
+			for seq := range s.vals {
+				fn(topology.NodeID(h), s.source, seq, &s.vals[seq])
+			}
+		}
+	}
+}
+
+// reserve pre-sizes the host axis for hosts 0..n-1.
+func (t *seqTable[T]) reserve(n int) {
+	if n > cap(t.hosts) {
+		hosts := make([][]seqStream[T], len(t.hosts), n)
+		copy(hosts, t.hosts)
+		t.hosts = hosts
+	}
+	for len(t.hosts) < n {
+		t.hosts = append(t.hosts, nil)
+	}
+}

@@ -51,51 +51,73 @@ type HostCounts struct {
 }
 
 // Collector implements srm.Observer, accumulating events during a
-// simulation run. The zero value is not usable; construct with New.
+// simulation run. Construct with New; per-packet state lives in dense
+// NodeID- and seq-indexed tables (not maps), because the observer sits
+// on every detection, recovery and transmission of a run. Reserve
+// pre-sizes the per-host axes when the host count is known up front.
 type Collector struct {
-	detected   map[hostSeq]sim.Time
-	expReqs    map[hostSeq]bool
+	// packets marks per-(host, source, seq) detection instants and
+	// expedited-request flags.
+	packets    seqTable[packetMark]
 	recoveries []Recovery
-	counts     map[topology.NodeID]*HostCounts
-	lossCount  map[topology.NodeID]int
+	counts     []HostCounts // NodeID-indexed transmission counters
+	lossCount  []int        // NodeID-indexed detected-loss counts
 }
 
-type hostSeq struct {
-	host   topology.NodeID
-	source topology.NodeID
-	seq    int
+// packetMark is the Collector's per-packet cell: the detection instant
+// (valid when det is set) and whether an expedited request chased the
+// packet.
+type packetMark struct {
+	detAt  sim.Time
+	det    bool
+	expReq bool
 }
 
 // New returns an empty collector.
-func New() *Collector {
-	return &Collector{
-		detected:  make(map[hostSeq]sim.Time),
-		expReqs:   make(map[hostSeq]bool),
-		counts:    make(map[topology.NodeID]*HostCounts),
-		lossCount: make(map[topology.NodeID]int),
+func New() *Collector { return &Collector{} }
+
+// Reserve pre-sizes the per-host tables for node IDs 0..n-1, avoiding
+// growth re-slicing during the run.
+func (c *Collector) Reserve(n int) {
+	c.packets.reserve(n)
+	if n > len(c.counts) {
+		counts := make([]HostCounts, n)
+		copy(counts, c.counts)
+		c.counts = counts
+	}
+	if n > len(c.lossCount) {
+		lossCount := make([]int, n)
+		copy(lossCount, c.lossCount)
+		c.lossCount = lossCount
 	}
 }
 
 var _ srm.Observer = (*Collector)(nil)
 
 func (c *Collector) host(h topology.NodeID) *HostCounts {
-	hc := c.counts[h]
-	if hc == nil {
-		hc = &HostCounts{}
-		c.counts[h] = hc
+	for int(h) >= len(c.counts) {
+		c.counts = append(c.counts, HostCounts{})
 	}
-	return hc
+	return &c.counts[h]
 }
 
 // LossDetected implements srm.Observer.
 func (c *Collector) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
-	c.detected[hostSeq{host, source, seq}] = at
+	p := c.packets.ensure(host, source, seq)
+	p.detAt = at
+	p.det = true
+	for int(host) >= len(c.lossCount) {
+		c.lossCount = append(c.lossCount, 0)
+	}
 	c.lossCount[host]++
 }
 
 // Recovered implements srm.Observer.
 func (c *Collector) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
-	det := c.detected[hostSeq{host, source, seq}]
+	var det sim.Time
+	if p := c.packets.get(host, source, seq); p != nil && p.det {
+		det = p.detAt
+	}
 	c.recoveries = append(c.recoveries, Recovery{
 		Host:        host,
 		Source:      source,
@@ -118,7 +140,7 @@ func (c *Collector) RequestSent(host, source topology.NodeID, seq int, round int
 // ExpRequestSent implements srm.Observer.
 func (c *Collector) ExpRequestSent(host, source topology.NodeID, seq int) {
 	c.host(host).ExpRequests++
-	c.expReqs[hostSeq{host, source, seq}] = true
+	c.packets.ensure(host, source, seq).expReq = true
 }
 
 // ReplySent implements srm.Observer.
@@ -139,20 +161,26 @@ func (c *Collector) SessionSent(host topology.NodeID) {
 func (c *Collector) Recoveries() []Recovery { return c.recoveries }
 
 // Losses returns the number of losses detected by host.
-func (c *Collector) Losses(host topology.NodeID) int { return c.lossCount[host] }
+func (c *Collector) Losses(host topology.NodeID) int {
+	if int(host) >= len(c.lossCount) {
+		return 0
+	}
+	return c.lossCount[host]
+}
 
 // Counts returns the per-host transmission counters for host.
 func (c *Collector) Counts(host topology.NodeID) HostCounts {
-	if hc, ok := c.counts[host]; ok {
-		return *hc
+	if int(host) >= len(c.counts) {
+		return HostCounts{}
 	}
-	return HostCounts{}
+	return c.counts[host]
 }
 
 // TotalCounts sums transmission counters over all hosts.
 func (c *Collector) TotalCounts() HostCounts {
 	var t HostCounts
-	for _, hc := range c.counts {
+	for i := range c.counts {
+		hc := &c.counts[i]
 		t.Requests += hc.Requests
 		t.ExpRequests += hc.ExpRequests
 		t.Replies += hc.Replies
@@ -182,15 +210,17 @@ type ExpRequestKey struct {
 }
 
 // ExpRequestedPackets returns the distinct (host, source, seq) triples
-// for which expedited requests were sent, in unspecified order. The
-// experiment layer joins these against the trace to count spurious
-// expedited requests — requests chasing packets that were merely
-// reordered, not lost (§3.2).
+// for which expedited requests were sent, ordered by host, then stream,
+// then sequence number. The experiment layer joins these against the
+// trace to count spurious expedited requests — requests chasing packets
+// that were merely reordered, not lost (§3.2).
 func (c *Collector) ExpRequestedPackets() []ExpRequestKey {
-	out := make([]ExpRequestKey, 0, len(c.expReqs))
-	for k := range c.expReqs {
-		out = append(out, ExpRequestKey{Host: k.host, Source: k.source, Seq: k.seq})
-	}
+	var out []ExpRequestKey
+	c.packets.forEach(func(host, source topology.NodeID, seq int, p *packetMark) {
+		if p.expReq {
+			out = append(out, ExpRequestKey{Host: host, Source: source, Seq: seq})
+		}
+	})
 	return out
 }
 

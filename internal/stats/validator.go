@@ -28,22 +28,35 @@ import (
 type Validator struct {
 	violations []string
 
-	detected  map[hostSeq]sim.Time
-	recovered map[hostSeq]bool
-	lastRound map[hostSeq]int
-	lastEvent map[topology.NodeID]sim.Time
+	// packets is the per-(host, source, seq) audit state, a dense
+	// NodeID- and seq-indexed table like the Collector's (the validator
+	// observes the same per-packet event stream).
+	packets seqTable[packetAudit]
+	// lastEvent is each host's most recent event instant, NodeID-indexed;
+	// -1 marks "no event seen yet".
+	lastEvent []sim.Time
 
 	expReqs    int
 	expReplies int
 }
 
+// packetAudit is the Validator's per-packet cell.
+type packetAudit struct {
+	detAt     sim.Time
+	det       bool
+	recovered bool
+	lastRound int
+	hasRound  bool
+}
+
 // NewValidator returns an empty validator.
-func NewValidator() *Validator {
-	return &Validator{
-		detected:  make(map[hostSeq]sim.Time),
-		recovered: make(map[hostSeq]bool),
-		lastRound: make(map[hostSeq]int),
-		lastEvent: make(map[topology.NodeID]sim.Time),
+func NewValidator() *Validator { return &Validator{} }
+
+// Reserve pre-sizes the per-host tables for node IDs 0..n-1.
+func (v *Validator) Reserve(n int) {
+	v.packets.reserve(n)
+	for len(v.lastEvent) < n {
+		v.lastEvent = append(v.lastEvent, -1)
 	}
 }
 
@@ -65,7 +78,10 @@ func (v *Validator) Err() error {
 }
 
 func (v *Validator) clock(host topology.NodeID, at sim.Time) {
-	if last, ok := v.lastEvent[host]; ok && at.Before(last) {
+	for int(host) >= len(v.lastEvent) {
+		v.lastEvent = append(v.lastEvent, -1)
+	}
+	if last := v.lastEvent[host]; last >= 0 && at.Before(last) {
 		v.violate("host %d: event at %v before previous event at %v", host, at, last)
 	}
 	v.lastEvent[host] = at
@@ -74,27 +90,27 @@ func (v *Validator) clock(host topology.NodeID, at sim.Time) {
 // LossDetected implements srm.Observer.
 func (v *Validator) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
 	v.clock(host, at)
-	k := hostSeq{host, source, seq}
-	if _, dup := v.detected[k]; dup {
+	p := v.packets.ensure(host, source, seq)
+	if p.det {
 		v.violate("host %d: loss (%d,%d) detected twice", host, source, seq)
 	}
-	v.detected[k] = at
+	p.detAt = at
+	p.det = true
 }
 
 // Recovered implements srm.Observer.
 func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
 	v.clock(host, at)
-	k := hostSeq{host, source, seq}
-	det, ok := v.detected[k]
-	if !ok {
+	p := v.packets.ensure(host, source, seq)
+	if !p.det {
 		v.violate("host %d: recovery of (%d,%d) without detection", host, source, seq)
-	} else if at.Before(det) {
-		v.violate("host %d: recovery of (%d,%d) at %v before detection at %v", host, source, seq, at, det)
+	} else if at.Before(p.detAt) {
+		v.violate("host %d: recovery of (%d,%d) at %v before detection at %v", host, source, seq, at, p.detAt)
 	}
-	if v.recovered[k] {
+	if p.recovered {
 		v.violate("host %d: (%d,%d) recovered twice", host, source, seq)
 	}
-	v.recovered[k] = true
+	p.recovered = true
 	if info.OwnRequests < 0 || info.Reschedules < 0 {
 		v.violate("host %d: negative recovery counters %+v", host, info)
 	}
@@ -102,21 +118,22 @@ func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time
 
 // RequestSent implements srm.Observer.
 func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int) {
-	k := hostSeq{host, source, seq}
-	if v.recovered[k] {
+	p := v.packets.ensure(host, source, seq)
+	if p.recovered {
 		v.violate("host %d: request for already-recovered (%d,%d)", host, source, seq)
 	}
-	if _, ok := v.detected[k]; !ok {
+	if !p.det {
 		v.violate("host %d: request for undetected (%d,%d)", host, source, seq)
 	}
-	if last, ok := v.lastRound[k]; ok {
-		if round <= last {
-			v.violate("host %d: request round %d after round %d for (%d,%d)", host, round, last, source, seq)
+	if p.hasRound {
+		if round <= p.lastRound {
+			v.violate("host %d: request round %d after round %d for (%d,%d)", host, round, p.lastRound, source, seq)
 		}
 	} else if round < 0 {
 		v.violate("host %d: negative request round %d", host, round)
 	}
-	v.lastRound[k] = round
+	p.lastRound = round
+	p.hasRound = true
 }
 
 // ExpRequestSent implements srm.Observer.
