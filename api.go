@@ -2,7 +2,9 @@ package cesrm
 
 import (
 	"io"
+	"time"
 
+	"cesrm/internal/chaos"
 	"cesrm/internal/core"
 	"cesrm/internal/experiment"
 	"cesrm/internal/lossinfer"
@@ -286,4 +288,39 @@ func RunPair(t *Trace, cfg PairConfig) (*Pair, error) { return experiment.RunPai
 // the determinism audit behind `cesrm-sim -verify-determinism`.
 func VerifyDeterminism(cfg RunConfig, extra int) (*RunResult, error) {
 	return experiment.VerifyDeterminism(cfg, extra)
+}
+
+// ---- Fault injection ----
+
+// ChaosSpec is a deterministic fault-injection schedule; assign one to
+// RunConfig.Chaos to run a trace under churn.
+type ChaosSpec = chaos.Spec
+
+// ChaosFault is one scheduled fault of a ChaosSpec.
+type ChaosFault = chaos.Fault
+
+// ChaosKind discriminates fault kinds.
+type ChaosKind = chaos.Kind
+
+// Fault kinds.
+const (
+	ChaosCrash     = chaos.Crash
+	ChaosRestart   = chaos.Restart
+	ChaosLinkDown  = chaos.LinkDown
+	ChaosLinkUp    = chaos.LinkUp
+	ChaosJitter    = chaos.Jitter
+	ChaosDuplicate = chaos.Duplicate
+	ChaosStarve    = chaos.Starve
+)
+
+// ParseChaosSpec parses the textual fault grammar
+// ("kind@at[-until]:key=value,...", ";"-separated) behind
+// `cesrm-sim -chaos`.
+func ParseChaosSpec(text string) (*ChaosSpec, error) { return chaos.ParseSpec(text) }
+
+// ChaosScenarios returns the named scenario matrix for tree, with fault
+// instants placed inside horizon — the sweep behind
+// `cesrm-bench -chaos-matrix`.
+func ChaosScenarios(tree *Tree, horizon time.Duration) []*ChaosSpec {
+	return chaos.Scenarios(tree, horizon)
 }

@@ -2,6 +2,7 @@ package cesrm_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -106,6 +107,44 @@ func TestPublicAPIInference(t *testing.T) {
 	}
 	if res.Confidence(0.95) <= 0 {
 		t.Fatal("no inference confidence")
+	}
+}
+
+// TestPublicAPIChaos drives the fault-injection harness through the
+// facade: parse a fault spec, run a trace under churn, and replay it to
+// the identical fingerprint.
+func TestPublicAPIChaos(t *testing.T) {
+	tr, err := cesrm.GenerateTrace(cesrm.TraceSpec{
+		Name:         "apichaos",
+		Topology:     cesrm.TreeSpec{Receivers: 8, Depth: 3},
+		NumPackets:   300,
+		Period:       80 * time.Millisecond,
+		TargetLosses: 90,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := tr.Tree.Receivers()[0]
+	spec, err := cesrm.ParseChaosSpec(fmt.Sprintf(
+		"crash@5s:host=%d,purge;restart@9s:host=%d;jitter@4s-6s:max=2ms", victim, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(tr.Tree); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cesrm.VerifyDeterminism(cesrm.RunConfig{
+		Trace: tr, Protocol: cesrm.CESRM, Seed: 3, Chaos: spec,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint == "" {
+		t.Fatal("chaos run produced no fingerprint")
+	}
+	if got := len(cesrm.ChaosScenarios(tr.Tree, 30*time.Second)); got < 6 {
+		t.Fatalf("scenario matrix has %d entries, want at least 6", got)
 	}
 }
 

@@ -41,11 +41,14 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
+	"cesrm/internal/chaos"
 	"cesrm/internal/core"
 	"cesrm/internal/experiment"
 	"cesrm/internal/netsim"
+	"cesrm/internal/srm"
 	"cesrm/internal/trace"
 )
 
@@ -264,6 +267,57 @@ func (s *heapSampler) Stop() uint64 {
 	return s.peak
 }
 
+// runChaosMatrix sweeps the deterministic fault-injection scenario
+// matrix (see chaos.Scenarios) over every selected trace under SRM and
+// CESRM. Each run executes with the online invariant validator armed —
+// post-crash silence, live-receiver reliability, bounded SRM fallback —
+// so a scenario that violates the fail-stop model fails the sweep. The
+// printed fingerprints are reproducible: same seed, same spec, same
+// digest.
+func runChaosMatrix(indices []int, scale float64, seed int64, netCfg netsim.Config, cesrmCfg core.Config, lossy bool) error {
+	if indices == nil {
+		for _, e := range trace.Catalog {
+			indices = append(indices, e.Index)
+		}
+	}
+	fmt.Printf("cesrm-bench: chaos scenario matrix, scale=%v seed=%d\n\n", scale, seed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tTrace\tScenario\tProto\tFinishedAt\tFingerprint")
+	warmup := 3 * srm.DefaultParams().SessionPeriod
+	for _, idx := range indices {
+		if idx < 1 || idx > len(trace.Catalog) {
+			return fmt.Errorf("trace index %d out of [1, %d]", idx, len(trace.Catalog))
+		}
+		entry := trace.Catalog[idx-1]
+		tr, err := entry.Load(scale)
+		if err != nil {
+			return err
+		}
+		horizon := warmup + time.Duration(tr.NumPackets())*tr.Period
+		for _, spec := range chaos.Scenarios(tr.Tree, horizon) {
+			for _, proto := range []experiment.Protocol{experiment.SRM, experiment.CESRM} {
+				res, err := experiment.Run(experiment.RunConfig{
+					Trace:         tr,
+					Protocol:      proto,
+					Net:           netCfg,
+					CESRM:         cesrmCfg,
+					LossyRecovery: lossy,
+					Seed:          seed + int64(idx),
+					Chaos:         spec,
+				})
+				if err != nil {
+					return fmt.Errorf("trace %s scenario %s/%s: %w", entry.Name, spec.Name, proto, err)
+				}
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%v\t%s\n",
+					idx, entry.Name, spec.Name, proto, res.FinishedAt, res.Fingerprint)
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nall scenarios completed with invariants green")
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cesrm-bench:", err)
@@ -285,6 +339,7 @@ func run(args []string) error {
 	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
 	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
+	chaosMatrix := fs.Bool("chaos-matrix", false, "run the deterministic fault-injection scenario matrix per selected trace (instead of the figure suite) and report per-scenario fingerprints")
 	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf, one entry per scale) to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run(s) to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the suite run(s) to this file")
@@ -323,6 +378,13 @@ func run(args []string) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *chaosMatrix {
+		if len(scales) > 1 {
+			return fmt.Errorf("-chaos-matrix takes a single -scale")
+		}
+		return runChaosMatrix(indices, scales[0], *seed, netCfg, cesrmCfg, *lossy)
 	}
 
 	out := benchJSON{

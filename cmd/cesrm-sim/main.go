@@ -8,9 +8,14 @@
 //
 // -verify-determinism N reruns the configuration N extra times and
 // fails if any rerun's fingerprint diverges from the first — the
-// determinism audit. -events FILE dumps the ordered protocol-event
-// stream as NDJSON for timeline debugging. -cpuprofile and -memprofile
-// write pprof profiles of the run for hot-path analysis.
+// determinism audit. -chaos SPEC installs the deterministic
+// fault-injection harness (host crashes and restarts, link flaps,
+// jitter ramps, duplicate storms, session starvation; see
+// chaos.ParseSpec for the grammar) and composes with the audit: a chaos
+// run must replay to the identical fingerprint. -events FILE dumps the
+// ordered protocol-event stream as NDJSON for timeline debugging.
+// -cpuprofile and -memprofile write pprof profiles of the run for
+// hot-path analysis.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"cesrm/internal/chaos"
 	"cesrm/internal/core"
 	"cesrm/internal/experiment"
 	"cesrm/internal/netsim"
@@ -47,6 +53,7 @@ func run(args []string) error {
 	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
 	lossy := fs.Bool("lossy", false, "drop recovery traffic with estimated link rates")
 	routerAssist := fs.Bool("router-assist", false, "enable router-assisted CESRM (§3.3)")
+	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "crash@40s:host=3;restart@70s:host=3" (kinds: crash, restart, link-down, link-up, jitter, dup, starve)`)
 	verifyDet := fs.Int("verify-determinism", 0, "rerun the config N extra times and fail on fingerprint divergence")
 	eventsFile := fs.String("events", "", "write the ordered protocol-event stream as NDJSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -112,6 +119,16 @@ func run(args []string) error {
 		LossyRecovery: *lossy,
 		Seed:          *seed,
 	}
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		if err := spec.Validate(tr.Tree); err != nil {
+			return err
+		}
+		cfg.Chaos = spec
+	}
 
 	var res *experiment.RunResult
 	if *verifyDet > 0 {
@@ -167,6 +184,9 @@ func report(tr *trace.Trace, proto experiment.Protocol, res *experiment.RunResul
 		st.Name, st.Receivers, st.TreeDepth, st.Packets, st.Losses, tr.MeanBurstLength())
 	fmt.Printf("protocol %s: finished at %v (inference confidence@95%% = %.1f%%)\n",
 		proto, res.FinishedAt, 100*res.InferenceConfidence95)
+	if spec := res.Config.Chaos; spec != nil {
+		fmt.Printf("chaos: %s\n", spec)
+	}
 	fmt.Printf("fingerprint: %s\n\n", res.Fingerprint)
 
 	all := res.Collector.OverallNormalized(res.RTT)

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// Host is the lifecycle surface the controller drives. All protocol
+// endpoints (srm.Agent, core.Agent, lms.Agent) implement it.
+type Host interface {
+	Crash()
+	Restart()
+	Crashed() bool
+}
+
+// Invalidator is the optional cache-invalidation surface a Purge crash
+// exercises on the surviving endpoints (implemented by CESRM's
+// core.Agent).
+type Invalidator interface {
+	InvalidateHost(dead topology.NodeID) int
+}
+
+// Probe observes lifecycle faults as they fire; the stats validator
+// implements it to arm its post-crash-silence invariant. May be nil.
+type Probe interface {
+	NoteCrash(host topology.NodeID, at sim.Time)
+	NoteRestart(host topology.NodeID, at sim.Time)
+}
+
+// Controller schedules a validated Spec's faults through the engine and
+// tracks the windowed fault state the network hooks consult. All fault
+// events are scheduled up front, in spec order, so two runs of the same
+// spec dispatch identically.
+type Controller struct {
+	eng   *sim.Engine
+	net   *netsim.Network
+	rng   *sim.RNG
+	hosts map[topology.NodeID]Host
+	order []topology.NodeID // sorted host IDs, for deterministic purge sweeps
+	probe Probe
+
+	pending    int // fault events not yet fired
+	baseJitter time.Duration
+
+	dupProb    float64
+	dupDelay   time.Duration
+	starveAll  int
+	starveHost map[topology.NodeID]int
+}
+
+// Install validates spec against the network's topology and schedules
+// every fault. rng drives duplicate-injection decisions and must be
+// dedicated to the controller (sharing it with protocol agents would
+// entangle their random streams). hosts maps every crashable node to
+// its endpoint; probe may be nil. The engine must still be at time
+// zero.
+func Install(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, spec *Spec, hosts map[topology.NodeID]Host, probe Probe) (*Controller, error) {
+	if err := spec.Validate(net.Tree()); err != nil {
+		return nil, err
+	}
+	for _, f := range spec.Faults {
+		if (f.Kind == Crash || f.Kind == Restart) && hosts[f.Host] == nil {
+			return nil, fmt.Errorf("chaos: no endpoint for host %d", f.Host)
+		}
+	}
+	c := &Controller{
+		eng:        eng,
+		net:        net,
+		rng:        rng,
+		hosts:      hosts,
+		probe:      probe,
+		baseJitter: net.MaxJitter(),
+		starveHost: make(map[topology.NodeID]int),
+	}
+	for id := range hosts {
+		c.order = append(c.order, id)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	if spec.HasDuplicates() {
+		net.SetDupFunc(c.maybeDup)
+	}
+	for _, f := range spec.Faults {
+		c.schedule(f)
+	}
+	return c, nil
+}
+
+// Quiesced reports whether every scheduled fault event has fired. The
+// experiment's completion monitor must not declare a run finished while
+// faults are outstanding — a restart scheduled after apparent quiescence
+// reopens recovery work.
+func (c *Controller) Quiesced() bool { return c.pending == 0 }
+
+// at schedules one fault event, tracking it in the pending count.
+func (c *Controller) at(t time.Duration, fn func(now sim.Time)) {
+	c.pending++
+	c.eng.ScheduleAt(sim.Time(t), func(now sim.Time) {
+		c.pending--
+		fn(now)
+	})
+}
+
+func (c *Controller) schedule(f Fault) {
+	switch f.Kind {
+	case Crash:
+		host, purge := f.Host, f.Purge
+		c.at(f.At, func(now sim.Time) {
+			c.hosts[host].Crash()
+			if c.probe != nil {
+				c.probe.NoteCrash(host, now)
+			}
+			if purge {
+				for _, id := range c.order {
+					if id == host || c.hosts[id].Crashed() {
+						continue
+					}
+					if inv, ok := c.hosts[id].(Invalidator); ok {
+						inv.InvalidateHost(host)
+					}
+				}
+			}
+		})
+	case Restart:
+		host := f.Host
+		c.at(f.At, func(now sim.Time) {
+			c.hosts[host].Restart()
+			if c.probe != nil {
+				c.probe.NoteRestart(host, now)
+			}
+		})
+	case LinkDown:
+		link := f.Link
+		c.at(f.At, func(sim.Time) { c.net.SetLinkUp(link, false) })
+		if f.Until != 0 {
+			c.at(f.Until, func(sim.Time) { c.net.SetLinkUp(link, true) })
+		}
+	case LinkUp:
+		link := f.Link
+		c.at(f.At, func(sim.Time) { c.net.SetLinkUp(link, true) })
+	case Jitter:
+		max := f.Max
+		c.at(f.At, func(sim.Time) { c.net.SetMaxJitter(max) })
+		c.at(f.Until, func(sim.Time) { c.net.SetMaxJitter(c.baseJitter) })
+	case Duplicate:
+		prob, delay := f.Prob, f.Delay
+		c.at(f.At, func(sim.Time) { c.dupProb, c.dupDelay = prob, delay })
+		c.at(f.Until, func(sim.Time) { c.dupProb = 0 })
+	case Starve:
+		host := f.Host
+		bump := func(d int) {
+			if host == topology.None {
+				c.starveAll += d
+			} else {
+				c.starveHost[host] += d
+			}
+		}
+		c.at(f.At, func(sim.Time) { bump(1) })
+		c.at(f.Until, func(sim.Time) { bump(-1) })
+	}
+}
+
+// Drop implements session-message starvation; the experiment harness
+// consults it first in the network's drop hook. Only session packets
+// are ever affected.
+func (c *Controller) Drop(p *netsim.Packet, link topology.LinkID, down bool) bool {
+	if !p.Session {
+		return false
+	}
+	if c.starveAll > 0 {
+		return true
+	}
+	return len(c.starveHost) > 0 && c.starveHost[p.From] > 0
+}
+
+// maybeDup decides duplicate injection for one delivery. Expedited
+// requests are never duplicated: a copy arriving after the replier's
+// reply-abstinence window would elicit a second expedited reply, which
+// the validator's replies≤requests invariant rightly rejects — the
+// duplicate would be manufacturing a protocol violation rather than
+// revealing one.
+func (c *Controller) maybeDup(p *netsim.Packet, at sim.Time) (time.Duration, bool) {
+	if c.dupProb <= 0 {
+		return 0, false
+	}
+	if m, ok := p.Msg.(*srm.RequestMsg); ok && m.Expedited {
+		return 0, false
+	}
+	if c.rng.Float64() >= c.dupProb {
+		return 0, false
+	}
+	return c.dupDelay, true
+}

@@ -1,0 +1,450 @@
+// Package chaos is a deterministic, seeded fault-injection harness for
+// the simulator: it composes churn scenarios — host crashes and
+// restarts, link up/down flaps, delay-jitter ramps, duplicate-delivery
+// storms and session-message starvation — from a declarative schema and
+// schedules every fault through the simulation engine, so a chaos run
+// is exactly as reproducible as a fault-free one: same seed, same spec,
+// same run fingerprint.
+//
+// The paper's §3.3 argues CESRM degrades gracefully in dynamic
+// environments: cached repliers that crash stop answering expedited
+// requests and recovery falls back to SRM. This package turns that
+// argument into checkable scenarios, paired with the online invariants
+// in internal/stats (post-crash silence, live-receiver reliability,
+// bounded SRM fallback).
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+// Kind discriminates fault types.
+type Kind int
+
+const (
+	// Crash fail-stops a host at At.
+	Crash Kind = iota + 1
+	// Restart rejoins a previously crashed host at At with fresh state.
+	Restart
+	// LinkDown severs a link at At; it is restored at Until when Until
+	// is set, otherwise a later LinkUp fault must restore it.
+	LinkDown
+	// LinkUp restores a severed link at At.
+	LinkUp
+	// Jitter ramps the delivery-jitter magnitude to Max over [At, Until),
+	// then restores the run's baseline magnitude.
+	Jitter
+	// Duplicate delivers a second, delayed copy of each packet with
+	// probability Prob over [At, Until).
+	Duplicate
+	// Starve drops all session messages (or only those originating at
+	// Host, when set) over [At, Until).
+	Starve
+)
+
+// String returns the kind's spec keyword.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case Jitter:
+		return "jitter"
+	case Duplicate:
+		return "dup"
+	case Starve:
+		return "starve"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. Which fields are meaningful depends on
+// Kind; Validate rejects inconsistent combinations.
+type Fault struct {
+	// Kind discriminates the fault.
+	Kind Kind
+	// At is the virtual instant the fault engages.
+	At time.Duration
+	// Until ends the window of windowed kinds (Jitter, Duplicate,
+	// Starve, and optionally LinkDown auto-restore). Zero means no
+	// window end.
+	Until time.Duration
+	// Host targets Crash and Restart, and optionally restricts Starve
+	// to one host's session stream (None = every host's).
+	Host topology.NodeID
+	// Purge, on a Crash, makes every live endpoint that supports it
+	// (CESRM) drop cached pairs naming the dead host, modelling an
+	// out-of-band membership announcement.
+	Purge bool
+	// Link targets LinkDown and LinkUp, identified by its downstream
+	// endpoint.
+	Link topology.LinkID
+	// Max is the Jitter window's delivery-jitter magnitude.
+	Max time.Duration
+	// Prob is the Duplicate window's per-delivery duplication
+	// probability.
+	Prob float64
+	// Delay is the extra delay of a Duplicate window's second copy.
+	Delay time.Duration
+}
+
+// Spec is a named, ordered fault composition. Fault order breaks
+// same-instant scheduling ties, so it is part of the deterministic
+// contract.
+type Spec struct {
+	Name   string
+	Faults []Fault
+}
+
+// HasJitter reports whether the spec contains jitter ramps (the harness
+// must install a jitter RNG before the run starts).
+func (s *Spec) HasJitter() bool { return s.hasKind(Jitter) }
+
+// HasDuplicates reports whether the spec contains duplicate windows.
+func (s *Spec) HasDuplicates() bool { return s.hasKind(Duplicate) }
+
+func (s *Spec) hasKind(k Kind) bool {
+	for _, f := range s.Faults {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec against the topology it will run over:
+// fault targets must exist (hosts must be receivers — the source cannot
+// crash, and routers run no protocol), windows must be well-formed and
+// non-overlapping per kind, every severed link must eventually be
+// restored (an unrecoverable partition can never reach full
+// reliability), and crash/restart sequences per host must alternate.
+func (s *Spec) Validate(tree *topology.Tree) error {
+	type window struct{ from, to time.Duration }
+	var jitterWins, dupWins []window
+	crashes := map[topology.NodeID][]Fault{} // crash/restart per host, spec order
+	linkEvents := map[topology.LinkID][]Fault{}
+	for i, f := range s.Faults {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("chaos: fault %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+		}
+		if f.At < 0 {
+			return fail("negative instant %v", f.At)
+		}
+		if f.Until != 0 && f.Until <= f.At {
+			return fail("window end %v not after start %v", f.Until, f.At)
+		}
+		switch f.Kind {
+		case Crash, Restart:
+			if !tree.IsReceiver(f.Host) {
+				return fail("host %d is not a receiver", f.Host)
+			}
+			crashes[f.Host] = append(crashes[f.Host], f)
+		case LinkDown, LinkUp:
+			if f.Link == tree.Root() || int(f.Link) < 0 || int(f.Link) >= tree.NumNodes() {
+				return fail("invalid link %d", f.Link)
+			}
+			linkEvents[f.Link] = append(linkEvents[f.Link], f)
+		case Jitter:
+			if f.Until == 0 {
+				return fail("jitter ramp needs a window end")
+			}
+			if f.Max <= 0 {
+				return fail("non-positive magnitude %v", f.Max)
+			}
+			jitterWins = append(jitterWins, window{f.At, f.Until})
+		case Duplicate:
+			if f.Until == 0 {
+				return fail("duplicate window needs an end")
+			}
+			if f.Prob <= 0 || f.Prob > 1 {
+				return fail("probability %v outside (0,1]", f.Prob)
+			}
+			if f.Delay < 0 {
+				return fail("negative duplicate delay %v", f.Delay)
+			}
+			dupWins = append(dupWins, window{f.At, f.Until})
+		case Starve:
+			if f.Until == 0 {
+				return fail("starvation window needs an end")
+			}
+			if f.Host != topology.None && (int(f.Host) < 0 || int(f.Host) >= tree.NumNodes()) {
+				return fail("invalid host %d", f.Host)
+			}
+		default:
+			return fail("unknown kind")
+		}
+	}
+	for _, wins := range [][]window{jitterWins, dupWins} {
+		wins := append([]window(nil), wins...)
+		sort.Slice(wins, func(i, j int) bool { return wins[i].from < wins[j].from })
+		for i := 1; i < len(wins); i++ {
+			if wins[i].from < wins[i-1].to {
+				return fmt.Errorf("chaos: overlapping windows [%v,%v) and [%v,%v)",
+					wins[i-1].from, wins[i-1].to, wins[i].from, wins[i].to)
+			}
+		}
+	}
+	for h, seq := range crashes {
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].At < seq[j].At })
+		down := false
+		for _, f := range seq {
+			switch f.Kind {
+			case Crash:
+				if down {
+					return fmt.Errorf("chaos: host %d crashed twice without a restart", h)
+				}
+				down = true
+			case Restart:
+				if !down {
+					return fmt.Errorf("chaos: host %d restarted while live", h)
+				}
+				down = false
+			}
+		}
+	}
+	for l, seq := range linkEvents {
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].At < seq[j].At })
+		down := false
+		for _, f := range seq {
+			switch f.Kind {
+			case LinkDown:
+				if down {
+					return fmt.Errorf("chaos: link %d downed twice without restoration", l)
+				}
+				down = f.Until == 0
+			case LinkUp:
+				if !down {
+					return fmt.Errorf("chaos: link %d raised while up", l)
+				}
+				down = false
+			}
+		}
+		if down {
+			return fmt.Errorf("chaos: link %d is severed forever (no restoration)", l)
+		}
+	}
+	return nil
+}
+
+// String renders the spec in the compact text format ParseSpec accepts.
+func (s *Spec) String() string {
+	parts := make([]string, 0, len(s.Faults))
+	for _, f := range s.Faults {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s@%s", f.Kind, f.At)
+		if f.Until != 0 {
+			fmt.Fprintf(&b, "-%s", f.Until)
+		}
+		var opts []string
+		switch f.Kind {
+		case Crash, Restart:
+			opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			if f.Purge {
+				opts = append(opts, "purge")
+			}
+		case LinkDown, LinkUp:
+			opts = append(opts, fmt.Sprintf("link=%d", f.Link))
+		case Jitter:
+			opts = append(opts, fmt.Sprintf("max=%s", f.Max))
+		case Duplicate:
+			opts = append(opts, fmt.Sprintf("prob=%s", strconv.FormatFloat(f.Prob, 'g', -1, 64)),
+				fmt.Sprintf("delay=%s", f.Delay))
+		case Starve:
+			if f.Host != topology.None {
+				opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			}
+		}
+		if len(opts) > 0 {
+			fmt.Fprintf(&b, ":%s", strings.Join(opts, ","))
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpec parses the compact text format used by cesrm-sim -chaos:
+// semicolon-separated faults of the form
+//
+//	kind@at[-until][:key=value[,key=value...]]
+//
+// for example
+//
+//	crash@40s:host=3;restart@70s:host=3;link-down@10s-20s:link=5;
+//	jitter@30s-50s:max=5ms;dup@5s-90s:prob=0.01,delay=2ms;starve@20s-45s
+//
+// Instants are Go durations measured from simulation start. The
+// returned spec is syntactically checked only; call Validate with the
+// run's topology before use.
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{Name: "custom"}
+	for _, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %q: %w", part, err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if len(s.Faults) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec %q", text)
+	}
+	return s, nil
+}
+
+func parseFault(text string) (Fault, error) {
+	f := Fault{Host: topology.None, Link: topology.LinkID(topology.None)}
+	head, opts, hasOpts := strings.Cut(text, ":")
+	kindStr, when, ok := strings.Cut(head, "@")
+	if !ok {
+		return f, fmt.Errorf("missing @instant")
+	}
+	switch kindStr {
+	case "crash":
+		f.Kind = Crash
+	case "restart":
+		f.Kind = Restart
+	case "link-down":
+		f.Kind = LinkDown
+	case "link-up":
+		f.Kind = LinkUp
+	case "jitter":
+		f.Kind = Jitter
+	case "dup":
+		f.Kind = Duplicate
+	case "starve":
+		f.Kind = Starve
+	default:
+		return f, fmt.Errorf("unknown fault kind %q", kindStr)
+	}
+	from, to, windowed := strings.Cut(when, "-")
+	at, err := time.ParseDuration(from)
+	if err != nil {
+		return f, fmt.Errorf("bad instant: %w", err)
+	}
+	f.At = at
+	if windowed {
+		until, err := time.ParseDuration(to)
+		if err != nil {
+			return f, fmt.Errorf("bad window end: %w", err)
+		}
+		f.Until = until
+	}
+	if !hasOpts {
+		return f, nil
+	}
+	for _, opt := range strings.Split(opts, ",") {
+		key, val, hasVal := strings.Cut(opt, "=")
+		switch key {
+		case "host":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return f, fmt.Errorf("bad host: %w", err)
+			}
+			f.Host = topology.NodeID(n)
+		case "link":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return f, fmt.Errorf("bad link: %w", err)
+			}
+			f.Link = topology.LinkID(n)
+		case "max":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return f, fmt.Errorf("bad max: %w", err)
+			}
+			f.Max = d
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return f, fmt.Errorf("bad delay: %w", err)
+			}
+			f.Delay = d
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad prob: %w", err)
+			}
+			f.Prob = p
+		case "purge":
+			if hasVal {
+				return f, fmt.Errorf("purge takes no value")
+			}
+			f.Purge = true
+		default:
+			return f, fmt.Errorf("unknown option %q", key)
+		}
+	}
+	return f, nil
+}
+
+// Scenarios builds the deterministic scenario matrix for a topology:
+// one spec per churn dimension plus a combined stressor, with fault
+// instants placed at fixed fractions of horizon (the run's
+// warmup-plus-data-phase duration). The matrix is what cesrm-bench
+// -chaos-matrix sweeps and CI smokes.
+func Scenarios(tree *topology.Tree, horizon time.Duration) []*Spec {
+	recs := tree.Receivers()
+	a := recs[0]
+	b := recs[len(recs)/2]
+	if b == a && len(recs) > 1 {
+		b = recs[1]
+	}
+	frac := func(num, den int64) time.Duration {
+		return horizon * time.Duration(num) / time.Duration(den)
+	}
+	specs := []*Spec{
+		{Name: "crash", Faults: []Fault{
+			{Kind: Crash, At: frac(2, 5), Host: a},
+		}},
+		{Name: "crash-restart", Faults: []Fault{
+			{Kind: Crash, At: frac(3, 10), Host: a},
+			{Kind: Restart, At: frac(3, 5), Host: a},
+		}},
+		{Name: "link-flap", Faults: []Fault{
+			{Kind: LinkDown, At: frac(1, 4), Until: frac(7, 20), Link: topology.LinkID(a)},
+			{Kind: LinkDown, At: frac(11, 20), Until: frac(3, 5), Link: topology.LinkID(a)},
+		}},
+		{Name: "jitter-ramp", Faults: []Fault{
+			{Kind: Jitter, At: frac(1, 5), Until: frac(2, 5), Max: 2 * time.Millisecond},
+			{Kind: Jitter, At: frac(1, 2), Until: frac(7, 10), Max: 5 * time.Millisecond},
+		}},
+		{Name: "dup-storm", Faults: []Fault{
+			{Kind: Duplicate, At: frac(1, 10), Until: frac(9, 10), Prob: 0.05, Delay: 3 * time.Millisecond},
+		}},
+		{Name: "session-starve", Faults: []Fault{
+			{Kind: Starve, At: frac(1, 5), Until: frac(1, 2)},
+		}},
+	}
+	if b != a {
+		specs = append(specs,
+			&Spec{Name: "replier-churn", Faults: []Fault{
+				{Kind: Crash, At: frac(1, 4), Host: a, Purge: true},
+				{Kind: Crash, At: frac(2, 5), Host: b},
+				{Kind: Restart, At: frac(11, 20), Host: a},
+			}},
+			&Spec{Name: "combined", Faults: []Fault{
+				{Kind: Crash, At: frac(3, 10), Host: b},
+				{Kind: Restart, At: frac(1, 2), Host: b},
+				{Kind: LinkDown, At: frac(7, 20), Until: frac(9, 20), Link: topology.LinkID(a)},
+				{Kind: Duplicate, At: frac(1, 5), Until: frac(4, 5), Prob: 0.02, Delay: 2 * time.Millisecond},
+				{Kind: Starve, At: frac(3, 5), Until: frac(7, 10)},
+			}},
+		)
+	}
+	return specs
+}

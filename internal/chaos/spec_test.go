@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+//	   0 (source)
+//	  / \
+//	 1   2
+//	/ \   \
+//
+// 3   4   5
+//
+//	|
+//	6
+//
+// Receivers: 3, 4, 6.
+func testTree(t *testing.T) *topology.Tree {
+	t.Helper()
+	return topology.MustNew([]topology.NodeID{topology.None, 0, 0, 1, 1, 2, 5})
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	text := "crash@40s:host=3,purge;restart@1m10s:host=3;link-down@10s-20s:link=5;" +
+		"link-down@30s:link=5;link-up@35s:link=5;jitter@45s-50s:max=5ms;" +
+		"dup@1m20s-1m30s:prob=0.01,delay=2ms;starve@1m40s-1m45s;starve@1m50s-1m55s:host=4"
+	s, err := ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(testTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s.Faults, again.Faults) {
+		t.Fatalf("round trip diverged:\n  first:  %+v\n  second: %+v", s.Faults, again.Faults)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"", "crash", "crash@", "crash@40s:host=x", "explode@40s",
+		"crash@40s:frob=1", "jitter@4s-2x:max=1ms", "dup@1s-2s:prob=maybe",
+		"crash@40s:purge=yes",
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+func TestValidateRejectsIllFormedSpecs(t *testing.T) {
+	tree := testTree(t)
+	cases := []struct {
+		name  string
+		spec  Spec
+		wants string
+	}{
+		{"negative instant", Spec{Faults: []Fault{{Kind: Crash, At: -time.Second, Host: 3}}}, "negative instant"},
+		{"crash source", Spec{Faults: []Fault{{Kind: Crash, At: time.Second, Host: 0}}}, "not a receiver"},
+		{"crash router", Spec{Faults: []Fault{{Kind: Crash, At: time.Second, Host: 1}}}, "not a receiver"},
+		{"double crash", Spec{Faults: []Fault{
+			{Kind: Crash, At: time.Second, Host: 3},
+			{Kind: Crash, At: 2 * time.Second, Host: 3},
+		}}, "crashed twice"},
+		{"restart live host", Spec{Faults: []Fault{{Kind: Restart, At: time.Second, Host: 3}}}, "restarted while live"},
+		{"root link", Spec{Faults: []Fault{{Kind: LinkDown, At: time.Second, Until: 2 * time.Second, Link: 0}}}, "invalid link"},
+		{"severed forever", Spec{Faults: []Fault{{Kind: LinkDown, At: time.Second, Link: 5}}}, "severed forever"},
+		{"link raised while up", Spec{Faults: []Fault{{Kind: LinkUp, At: time.Second, Link: 5}}}, "raised while up"},
+		{"jitter without end", Spec{Faults: []Fault{{Kind: Jitter, At: time.Second, Max: time.Millisecond}}}, "window end"},
+		{"inverted window", Spec{Faults: []Fault{{Kind: Jitter, At: 2 * time.Second, Until: time.Second, Max: time.Millisecond}}}, "not after start"},
+		{"overlapping jitter", Spec{Faults: []Fault{
+			{Kind: Jitter, At: time.Second, Until: 3 * time.Second, Max: time.Millisecond},
+			{Kind: Jitter, At: 2 * time.Second, Until: 4 * time.Second, Max: time.Millisecond},
+		}}, "overlapping"},
+		{"dup prob out of range", Spec{Faults: []Fault{{Kind: Duplicate, At: time.Second, Until: 2 * time.Second, Prob: 1.5}}}, "outside (0,1]"},
+		{"starve without end", Spec{Faults: []Fault{{Kind: Starve, At: time.Second, Host: topology.None}}}, "window"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(tree)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wants) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wants)
+		}
+	}
+}
+
+func TestValidateAcceptsLinkDownWithLaterLinkUp(t *testing.T) {
+	s := Spec{Faults: []Fault{
+		{Kind: LinkDown, At: time.Second, Link: 5},
+		{Kind: LinkUp, At: 3 * time.Second, Link: 5},
+	}}
+	if err := s.Validate(testTree(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenariosAreValidAndDistinct(t *testing.T) {
+	tree := testTree(t)
+	specs := Scenarios(tree, 2*time.Minute)
+	if len(specs) < 6 {
+		t.Fatalf("scenario matrix has %d entries, want at least 6", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" {
+			t.Fatal("unnamed scenario")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Validate(tree); err != nil {
+			t.Errorf("scenario %q invalid: %v", s.Name, err)
+		}
+	}
+	for _, want := range []string{"crash", "crash-restart", "link-flap", "jitter-ramp", "dup-storm", "session-starve", "replier-churn", "combined"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from matrix", want)
+		}
+	}
+}

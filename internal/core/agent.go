@@ -195,6 +195,9 @@ func (a *Agent) onLossDetected(now sim.Time, source topology.NodeID, seq int) {
 	key := sourceSeq{source, seq}
 	timer := a.eng.Schedule(a.cfg.ReorderDelay, func(sim.Time) {
 		delete(a.pendingExp, key)
+		if a.srm.Crashed() {
+			return // fail-stop: Crash cancels these timers, but stay silent regardless
+		}
 		if a.srm.Has(source, seq) {
 			return // arrived meanwhile; nothing to expedite
 		}
@@ -249,9 +252,49 @@ func (a *Agent) onReplyObserved(m *srm.ReplyMsg, everLost bool) {
 	a.Cache(m.Source).Update(t)
 }
 
-// Crash delegates to the SRM layer, making the whole endpoint
-// fail-stop (expedited requests are also ignored once crashed).
-func (a *Agent) Crash() { a.srm.Crash() }
+// Crash makes the whole endpoint fail-stop: every pending REORDER-DELAY
+// expedited-request timer is cancelled — a crashed host must never
+// unicast an expedited request — and the SRM layer crashes (expedited
+// requests arriving afterwards are also ignored).
+func (a *Agent) Crash() {
+	a.cancelPendingExp()
+	a.srm.Crash()
+}
+
+// cancelPendingExp cancels and clears every pending REORDER-DELAY
+// timer.
+func (a *Agent) cancelPendingExp() {
+	for key, t := range a.pendingExp {
+		a.eng.Cancel(t)
+		delete(a.pendingExp, key)
+	}
+}
 
 // Crashed reports whether Crash has been called.
 func (a *Agent) Crashed() bool { return a.srm.Crashed() }
+
+// Restart rejoins a crashed endpoint (§3.3's dynamic-membership model):
+// any leftover expedited-request timers are forgotten, every per-source
+// requestor/replier cache is dropped — the cached pairs may name hosts
+// that died while this one was down, and the scheme's graceful
+// degradation relies on the cache re-converging to live pairs from
+// observed recoveries — and the SRM layer restarts with fresh state,
+// re-synchronizing via session messages.
+func (a *Agent) Restart() {
+	a.cancelPendingExp()
+	a.caches = make(map[topology.NodeID]*Cache, 1+len(a.caches))
+	a.srm.Restart()
+}
+
+// InvalidateHost drops every cached tuple, in every per-source cache,
+// that names dead as requestor or replier. The harness calls it on live
+// endpoints when a membership service announces a crash, so stale pairs
+// stop steering expedited requests at a dead host. Returns the number
+// of tuples dropped.
+func (a *Agent) InvalidateHost(dead topology.NodeID) int {
+	removed := 0
+	for _, c := range a.caches {
+		removed += c.InvalidateHost(dead)
+	}
+	return removed
+}

@@ -119,6 +119,22 @@ func (c *Cache) Update(t Tuple) bool {
 	return true
 }
 
+// InvalidateHost removes every cached tuple naming host n as requestor
+// or replier, returning how many were removed. Expedited recovery
+// degrades gracefully when cached hosts crash (§3.3) because a dead
+// replier simply never answers; invalidation lets a membership-aware
+// deployment skip even the wasted expedited attempt.
+func (c *Cache) InvalidateHost(n topology.NodeID) int {
+	removed := 0
+	for seq, t := range c.entries {
+		if t.Requestor == n || t.Replier == n {
+			delete(c.entries, seq)
+			removed++
+		}
+	}
+	return removed
+}
+
 // MostRecent returns the tuple of the most recent cached packet.
 func (c *Cache) MostRecent() (Tuple, bool) {
 	best := -1

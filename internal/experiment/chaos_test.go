@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/core"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// chaosHorizon returns the warmup-plus-data-phase duration of a trace
+// run under default parameters, the window Scenarios places faults in.
+func chaosHorizon(tr *trace.Trace) time.Duration {
+	warmup := 3 * time.Second // 3 × default SessionPeriod
+	return warmup + time.Duration(tr.NumPackets())*tr.Period
+}
+
+// TestChaosScenarioMatrixInvariants runs every scenario of the
+// deterministic matrix under CESRM and checks the run completes with
+// the online invariants green: crashed hosts silent, live receivers
+// fully reliable, expedited recovery falling back to SRM within the
+// round bound. Run reports any violation as an error.
+func TestChaosScenarioMatrixInvariants(t *testing.T) {
+	tr := smallTrace(t, 5)
+	for _, spec := range chaos.Scenarios(tr.Tree, chaosHorizon(tr)) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 7, Chaos: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fingerprint == "" {
+				t.Fatal("chaos run produced no fingerprint")
+			}
+		})
+	}
+}
+
+// TestChaosHarnessIsProtocolGeneric smokes the churn scenario that
+// exercises restart across all three protocols.
+func TestChaosHarnessIsProtocolGeneric(t *testing.T) {
+	tr := smallTrace(t, 6)
+	specs := chaos.Scenarios(tr.Tree, chaosHorizon(tr))
+	var churn *chaos.Spec
+	for _, s := range specs {
+		if s.Name == "crash-restart" {
+			churn = s
+		}
+	}
+	if churn == nil {
+		t.Fatal("crash-restart scenario missing")
+	}
+	for _, proto := range []Protocol{SRM, CESRM, LMS} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			if _, err := Run(RunConfig{Trace: tr, Protocol: proto, Seed: 11, Chaos: churn}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosRunDeterminism is the acceptance gate for the harness's
+// headline property: a chaos-enabled configuration — crash, restart,
+// link flaps, jitter ramp, duplicate storm and session starvation all
+// at once — replays to the identical fingerprint.
+func TestChaosRunDeterminism(t *testing.T) {
+	tr := smallTrace(t, 5)
+	recs := tr.Tree.Receivers()
+	h := chaosHorizon(tr)
+	spec := &chaos.Spec{Name: "audit", Faults: []chaos.Fault{
+		{Kind: chaos.Crash, At: h * 3 / 10, Host: recs[1], Purge: true},
+		{Kind: chaos.Restart, At: h * 6 / 10, Host: recs[1]},
+		{Kind: chaos.LinkDown, At: h / 4, Until: h * 7 / 20, Link: topology.LinkID(recs[0])},
+		{Kind: chaos.Jitter, At: h / 2, Until: h * 7 / 10, Max: 2 * time.Millisecond},
+		{Kind: chaos.Duplicate, At: h / 10, Until: h / 5, Prob: 0.05, Delay: 3 * time.Millisecond},
+		{Kind: chaos.Starve, At: h * 4 / 5, Until: h * 9 / 10, Host: topology.None},
+	}}
+	cfg := RunConfig{Trace: tr, Protocol: CESRM, Seed: 21, Chaos: spec}
+	res, err := VerifyDeterminism(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint == "" {
+		t.Fatal("no fingerprint")
+	}
+}
+
+// TestChaosSpecValidationSurfacesFromRun checks an ill-formed spec is
+// rejected before the simulation starts.
+func TestChaosSpecValidationSurfacesFromRun(t *testing.T) {
+	tr := smallTrace(t, 5)
+	spec := &chaos.Spec{Name: "bad", Faults: []chaos.Fault{
+		{Kind: chaos.Crash, At: time.Second, Host: tr.Tree.Root()},
+	}}
+	if _, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 1, Chaos: spec}); err == nil {
+		t.Fatal("crash-the-source spec accepted")
+	}
+}
+
+// TestRandomizedFailStopSilence is the cross-protocol fail-stop
+// property test: crash a seeded-random receiver at a seeded-random
+// instant mid-run and assert the host emits zero observer events after
+// the crash — for SRM, CESRM under both policies and with router
+// assistance, and LMS.
+func TestRandomizedFailStopSilence(t *testing.T) {
+	tr := smallTrace(t, 9)
+	recs := tr.Tree.Receivers()
+	warmup := 3 * time.Second
+	dataDur := time.Duration(tr.NumPackets()) * tr.Period
+
+	variants := []struct {
+		name  string
+		proto Protocol
+		cesrm core.Config
+	}{
+		{"SRM", SRM, core.Config{}},
+		{"CESRM-most-recent", CESRM, core.Config{Policy: core.MostRecentLoss{}}},
+		{"CESRM-most-frequent", CESRM, core.Config{Policy: core.MostFrequentLoss{}}},
+		{"CESRM-router-assist", CESRM, core.Config{RouterAssist: true}},
+		{"LMS", LMS, core.Config{}},
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for _, v := range variants {
+		v := v
+		// Seeded random crash coordinates, drawn outside the subtest so
+		// order is reproducible.
+		victim := recs[rng.Intn(len(recs))]
+		crashAt := warmup + time.Duration(rng.Int63n(int64(dataDur/2)))
+		t.Run(v.name, func(t *testing.T) {
+			spec := &chaos.Spec{Name: "failstop", Faults: []chaos.Fault{
+				{Kind: chaos.Crash, At: crashAt, Host: victim},
+			}}
+			res, err := Run(RunConfig{
+				Trace: tr, Protocol: v.proto, CESRM: v.cesrm, Seed: 77, Chaos: spec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The validator already enforces post-crash silence online;
+			// re-check directly against the recorded event stream.
+			after := 0
+			for _, e := range res.Events {
+				if e.Host == victim && e.At.After(sim.Time(crashAt)) {
+					after++
+				}
+			}
+			if after != 0 {
+				t.Fatalf("host %d emitted %d events after its crash at %v", victim, after, crashAt)
+			}
+			// The crash must have landed mid-run: the victim was active
+			// before it.
+			before := 0
+			for _, e := range res.Events {
+				if e.Host == victim && !e.At.After(sim.Time(crashAt)) {
+					before++
+				}
+			}
+			if before == 0 {
+				t.Fatalf("host %d emitted no events before the crash; the property is vacuous", victim)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"cesrm/internal/chaos"
 	"cesrm/internal/core"
 	"cesrm/internal/lms"
 	"cesrm/internal/lossinfer"
@@ -100,6 +101,14 @@ type RunConfig struct {
 	// the completion and reliability checks (they can never recover).
 	// Crashing the source is rejected.
 	Crashes map[topology.NodeID]time.Duration
+	// Chaos, when non-nil, installs the deterministic fault-injection
+	// harness: host crashes and restarts, link flaps, jitter ramps,
+	// duplicate storms and session starvation, all scheduled through the
+	// engine so the run fingerprint stays a pure function of the
+	// configuration. Chaos runs skip the trace loss cross-check (a
+	// restarted host legitimately re-detects everything) and arm the
+	// validator's post-crash-silence and bounded-fallback invariants.
+	Chaos *chaos.Spec
 	// Seed drives all protocol randomness (timer draws, session
 	// offsets, lossy-recovery drops).
 	Seed int64
@@ -170,6 +179,14 @@ type inspector interface {
 // crasher is the fail-stop surface every protocol endpoint shares.
 type crasher interface{ Crash() }
 
+// expFallbackBound is invariant 7's request-round budget: a loss chased
+// by an expedited request whose cached replier turned out dead must
+// fall back to ordinary SRM recovery within this many request rounds.
+// Back-off round k waits on the order of 2^k·C3·d, so 12 rounds cover
+// outages orders of magnitude longer than any scenario window while
+// still catching a protocol that stops retrying.
+const expFallbackBound = 12
+
 // agentOrder, when non-nil, permutes the host order that drives per-host
 // RNG assignment and Stage 4 scheduling. It is a test seam that reenacts
 // the historical bug where Go map iteration fed event scheduling, letting
@@ -220,7 +237,22 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Jitter > 0 {
 		net.EnableJitter(rootRNG.Split(), cfg.Jitter)
 	}
+	// Chaos RNG splits happen only when chaos is enabled, so crash-free
+	// configurations draw exactly the random streams they always did and
+	// their fingerprints are untouched.
+	var chaosCtl *chaos.Controller
+	var chaosRNG *sim.RNG
+	if cfg.Chaos != nil {
+		chaosRNG = rootRNG.Split()
+		if cfg.Chaos.HasJitter() && cfg.Jitter <= 0 {
+			// Install the rng at zero magnitude; jitter ramps raise it.
+			net.EnableJitter(chaosRNG.Split(), 0)
+		}
+	}
 	net.SetDropFunc(func(p *netsim.Packet, link topology.LinkID, down bool) bool {
+		if chaosCtl != nil && chaosCtl.Drop(p, link, down) {
+			return true
+		}
 		if cfg.ExtraDrop != nil && (!p.Session || cfg.DropSessions) && cfg.ExtraDrop(p, link, down) {
 			return true
 		}
@@ -253,6 +285,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	collector.Reserve(tree.NumNodes())
 	validator := stats.NewValidator()
 	validator.Reserve(tree.NumNodes())
+	validator.SetClock(eng.Now)
 	recorder := stats.NewRecorder(eng.Now)
 	observer := stats.Tee{collector, validator, recorder}
 	hosts := append([]topology.NodeID{source}, tree.Receivers()...)
@@ -311,11 +344,27 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 	}
 
-	// Stage 4: schedule session start, data transmission, crashes, and
-	// the completion monitor. Scheduling assigns the engine's FIFO
-	// tie-breaker sequence numbers, so every loop here must iterate in a
-	// deterministic order — the ordered hosts slice and sorted crash
-	// hosts, never a map.
+	// Stage 4: schedule chaos faults, session start, data transmission,
+	// crashes, and the completion monitor. Scheduling assigns the
+	// engine's FIFO tie-breaker sequence numbers, so every loop here must
+	// iterate in a deterministic order — the ordered hosts slice and
+	// sorted crash hosts, never a map. Chaos faults are scheduled first,
+	// so a crash coinciding exactly with a protocol timer dispatches
+	// before it.
+	if cfg.Chaos != nil {
+		targets := make(map[topology.NodeID]chaos.Host, len(hosts))
+		for _, id := range hosts {
+			if h, ok := agents[id].(chaos.Host); ok {
+				targets[id] = h
+			}
+		}
+		validator.BoundExpFallback(expFallbackBound)
+		ctl, err := chaos.Install(eng, net, chaosRNG, cfg.Chaos, targets, validator)
+		if err != nil {
+			return nil, err
+		}
+		chaosCtl = ctl
+	}
 	for _, id := range hosts {
 		agents[id].StartSessions()
 	}
@@ -332,7 +381,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiment: host %d is not crashable", h)
 		}
-		eng.ScheduleAt(sim.Time(cfg.Crashes[h]), func(sim.Time) { c.Crash() })
+		h := h
+		eng.ScheduleAt(sim.Time(cfg.Crashes[h]), func(now sim.Time) {
+			c.Crash()
+			validator.NoteCrash(h, now)
+		})
 	}
 	numPackets := tr.NumPackets()
 	srcAgent := agents[source]
@@ -346,6 +399,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	lastData := sim.Time(cfg.Warmup + time.Duration(numPackets-1)*tr.Period)
 	deadline := lastData.Add(cfg.MaxTail)
 	complete := func() bool {
+		if chaosCtl != nil && !chaosCtl.Quiesced() {
+			// A fault is still outstanding; a restart scheduled after
+			// apparent quiescence reopens recovery work.
+			return false
+		}
 		for _, r := range tree.Receivers() {
 			a := inspectors[r]
 			if a.Crashed() {
@@ -394,7 +452,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if a.Crashed() {
 			continue
 		}
-		if got, want := collector.Losses(r), tr.ReceiverLosses(ri); got > want && cfg.Jitter == 0 && cfg.ExtraDrop == nil {
+		if got, want := collector.Losses(r), tr.ReceiverLosses(ri); got > want && cfg.Jitter == 0 && cfg.ExtraDrop == nil && cfg.Chaos == nil {
 			return nil, fmt.Errorf("experiment: %s/%s receiver %d detected %d losses, trace has only %d",
 				tr.Name, cfg.Protocol, r, got, want)
 		}

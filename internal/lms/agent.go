@@ -119,6 +119,9 @@ type Agent struct {
 
 	stopped bool
 	crashed bool
+	// heartbeatTimer is the pending self-rescheduling heartbeat tick
+	// (source only), retained so Crash can cancel it.
+	heartbeatTimer sim.Timer
 }
 
 var _ netsim.Host = (*Agent)(nil)
@@ -157,7 +160,7 @@ func (a *Agent) StartSessions() {
 	if a.id != a.source {
 		return
 	}
-	a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
+	a.heartbeatTimer = a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
 }
 
 func (a *Agent) heartbeatTick(now sim.Time) {
@@ -170,10 +173,12 @@ func (a *Agent) heartbeatTick(now sim.Time) {
 	}
 	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Control, Session: true, Msg: m})
 	a.obs.SessionSent(a.id)
-	a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
+	a.heartbeatTimer = a.eng.Schedule(a.cfg.HeartbeatPeriod, a.heartbeatTick)
 }
 
-// Stop halts heartbeat rescheduling.
+// Stop halts heartbeat rescheduling. Like srm.Agent.Stop, the armed
+// tick drains inertly rather than being cancelled, preserving the final
+// virtual time crash-free run fingerprints digest.
 func (a *Agent) Stop() { a.stopped = true }
 
 // Crash makes the host fail-stop and reports the failure to the fabric,
@@ -181,6 +186,7 @@ func (a *Agent) Stop() { a.stopped = true }
 func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
+	a.eng.Cancel(a.heartbeatTimer)
 	for _, ls := range a.losses {
 		if ls != nil {
 			a.eng.Cancel(ls.timer)
@@ -191,6 +197,29 @@ func (a *Agent) Crash() {
 
 // Crashed reports whether Crash has been called.
 func (a *Agent) Crashed() bool { return a.crashed }
+
+// Restart rejoins a crashed host with amnesia: reception and loss state
+// is discarded and rebuilt from the source's heartbeats (the host
+// re-detects everything it is missing and NAKs it), and the fabric is
+// told the host is back — routers re-designate repliers only after the
+// refresh delay, the same staleness window crashes suffer. Restarting a
+// live host panics.
+func (a *Agent) Restart() {
+	if !a.crashed {
+		panic(fmt.Sprintf("lms: restarting host %d that never crashed", a.id))
+	}
+	a.crashed = false
+	a.stopped = false
+	a.received = nil
+	a.cursor = 0
+	a.highestKnown = -1
+	a.advertPending = -1
+	a.losses = nil
+	a.pending = nil
+	a.outstanding = 0
+	a.fabric.ReportRestart(a.id)
+	a.StartSessions()
+}
 
 // Transmit multicasts original packet seq; only the source may call it.
 func (a *Agent) Transmit(seq int) {
@@ -401,6 +430,14 @@ func (a *Agent) onHeartbeat(now sim.Time, m *srm.SessionMsg) {
 	a.advertPending = highest
 	h := highest
 	a.eng.Schedule(a.cfg.DetectionSlack, func(now sim.Time) {
+		// Fire-and-forget, so Crash cannot cancel it: a crashed host
+		// must not detect losses (the NAK timers it would arm are not
+		// covered by Crash's cancel sweep and would retry forever). A
+		// post-restart firing is harmless — state lives on the agent and
+		// re-detection is exactly what a restarted host does anyway.
+		if a.crashed {
+			return
+		}
 		a.detectThrough(now, h)
 	})
 }

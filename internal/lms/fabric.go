@@ -169,5 +169,15 @@ func (f *Fabric) ReportCrash(n topology.NodeID) {
 	})
 }
 
+// ReportRestart tells the fabric that host n has rejoined. Like crash
+// reports, the routers only steer NAKs toward it again after the
+// refresh delay.
+func (f *Fabric) ReportRestart(n topology.NodeID) {
+	f.eng.Schedule(f.refreshDelay, func(sim.Time) {
+		delete(f.down, n)
+		f.designate()
+	})
+}
+
 // RefreshDelay returns the configured staleness window.
 func (f *Fabric) RefreshDelay() time.Duration { return f.refreshDelay }

@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+func TestLinkDownSeversSubtree(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	before := net.Counts().ControlMulticast
+
+	net.SetLinkUp(2, false)
+	if net.LinkUp(2) {
+		t.Fatal("LinkUp(2) = true after SetLinkUp(2, false)")
+	}
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+
+	if len(recs[3].got) != 1 || len(recs[4].got) != 1 {
+		t.Fatalf("hosts outside the severed subtree missed the multicast: 3=%d 4=%d",
+			len(recs[3].got), len(recs[4].got))
+	}
+	if len(recs[6].got) != 0 {
+		t.Fatal("host 6 received a multicast across a severed link")
+	}
+	// The severed link and everything below it count no crossings: only
+	// links 1, 3 and 4 were traversed.
+	if got := net.Counts().ControlMulticast - before; got != 3 {
+		t.Fatalf("control crossings = %d, want 3 (severed subtree must not count)", got)
+	}
+
+	// Restoration heals delivery.
+	net.SetLinkUp(2, true)
+	if !net.LinkUp(2) {
+		t.Fatal("LinkUp(2) = false after restoration")
+	}
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 1 {
+		t.Fatal("host 6 did not receive after link restoration")
+	}
+}
+
+func TestLinkDownSeversUnicast(t *testing.T) {
+	eng, net, recs := setup(t, DefaultConfig())
+	net.SetLinkUp(5, false)
+	net.Unicast(0, 6, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if len(recs[6].got) != 0 {
+		t.Fatal("unicast crossed a severed link")
+	}
+}
+
+func TestSetLinkUpRejectsInvalidLink(t *testing.T) {
+	_, net, _ := setup(t, DefaultConfig())
+	for _, link := range []topology.LinkID{0, -1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLinkUp(%d) did not panic", link)
+				}
+			}()
+			net.SetLinkUp(link, false)
+		}()
+	}
+}
+
+func TestDupFuncDeliversDelayedSecondCopy(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	const extra = 2 * time.Millisecond
+	net.SetDupFunc(func(p *Packet, at sim.Time) (time.Duration, bool) {
+		return extra, true
+	})
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+
+	r := recs[3]
+	if len(r.got) != 2 {
+		t.Fatalf("deliveries = %d, want original plus duplicate", len(r.got))
+	}
+	if want := r.got[0].at.Add(extra); r.got[1].at != want {
+		t.Fatalf("duplicate delivered at %v, want %v", r.got[1].at, want)
+	}
+	if r.got[0].pkt.Msg != r.got[1].pkt.Msg {
+		t.Fatal("duplicate carries a different message")
+	}
+}
+
+func TestSetMaxJitterRampsFromZero(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net, recs := setup(t, cfg)
+	// A jitter RNG installed at zero magnitude must not perturb
+	// deliveries (and must not draw), but keeps the ramp available.
+	net.EnableJitter(sim.NewRNG(7), 0)
+	if net.MaxJitter() != 0 {
+		t.Fatalf("MaxJitter = %v, want 0", net.MaxJitter())
+	}
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	exact := sim.Time(2 * cfg.LinkDelay)
+	if got := recs[3].got[0].at; got != exact {
+		t.Fatalf("zero-magnitude jitter perturbed delivery: %v, want %v", got, exact)
+	}
+
+	const max = 5 * time.Millisecond
+	net.SetMaxJitter(max)
+	if net.MaxJitter() != max {
+		t.Fatalf("MaxJitter = %v, want %v", net.MaxJitter(), max)
+	}
+	base := eng.Now()
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	got := recs[3].got[1].at.Sub(base.Add(sim.Duration(2 * cfg.LinkDelay)))
+	if got < 0 || got >= max {
+		t.Fatalf("jittered delivery offset %v outside [0, %v)", got, max)
+	}
+
+	// Ramping back down restores exact delivery.
+	net.SetMaxJitter(0)
+	base = eng.Now()
+	net.Multicast(0, &Packet{Class: Control, Msg: reqMsg{}})
+	eng.Run()
+	if got := recs[3].got[2].at.Sub(base); got != sim.Duration(2*cfg.LinkDelay) {
+		t.Fatalf("post-ramp delivery offset %v, want %v", got, 2*cfg.LinkDelay)
+	}
+}

@@ -109,6 +109,13 @@ type Host interface {
 // the tree root. A nil DropFunc drops nothing.
 type DropFunc func(p *Packet, link topology.LinkID, down bool) bool
 
+// DupFunc decides whether the end-to-end delivery of p scheduled for
+// instant at is duplicated, and with how much extra delay the second
+// copy arrives. Duplicate injection models links or routers that
+// re-forward packets; like jitter it applies to the fast (non-queuing)
+// delivery path. A nil DupFunc duplicates nothing.
+type DupFunc func(p *Packet, at sim.Time) (extra time.Duration, dup bool)
+
 // Config holds the physical parameters of the simulated network.
 type Config struct {
 	// LinkDelay is the one-way propagation delay of every link
@@ -188,9 +195,18 @@ type Network struct {
 	tree *topology.Tree
 	cfg  Config
 	drop DropFunc
+	dup  DupFunc
 
 	hosts  map[topology.NodeID]Host
 	nextID uint64
+
+	// linkDown marks administratively-downed links (SetLinkUp), indexed
+	// by the link's downstream endpoint like every LinkID. nil until the
+	// first SetLinkUp call, so static-topology runs pay nothing. A downed
+	// link severs all traffic in both directions — including session
+	// messages — without counting crossings: the packet never enters the
+	// link.
+	linkDown []bool
 
 	// busyUntil tracks per-link, per-direction transmit availability when
 	// Queuing is enabled. Index 0 is downstream, 1 upstream.
@@ -272,22 +288,71 @@ func (n *Network) AttachHost(id topology.NodeID, h Host) {
 // SetDropFunc installs the loss-injection hook.
 func (n *Network) SetDropFunc(fn DropFunc) { n.drop = fn }
 
+// SetDupFunc installs the duplicate-delivery hook.
+func (n *Network) SetDupFunc(fn DupFunc) { n.dup = fn }
+
+// SetLinkUp raises or severs the link identified by its downstream
+// endpoint. Links start up; a downed link carries no traffic in either
+// direction until raised again. The root has no inbound link, so its
+// NodeID is not a valid link.
+func (n *Network) SetLinkUp(link topology.LinkID, up bool) {
+	if link == n.tree.Root() || int(link) < 0 || int(link) >= n.tree.NumNodes() {
+		panic(fmt.Sprintf("netsim: SetLinkUp on invalid link %d", link))
+	}
+	if n.linkDown == nil {
+		if up {
+			return
+		}
+		n.linkDown = make([]bool, n.tree.NumNodes())
+	}
+	n.linkDown[link] = !up
+}
+
+// LinkUp reports whether the link is currently up.
+func (n *Network) LinkUp(link topology.LinkID) bool {
+	return n.linkDown == nil || !n.linkDown[link]
+}
+
+// linkSevered reports whether a downed link blocks the crossing.
+func (n *Network) linkSevered(link topology.LinkID) bool {
+	return n.linkDown != nil && n.linkDown[link]
+}
+
 // EnableJitter adds an independent uniform random delay in [0, max) to
 // every end-to-end delivery, modelling the transient reordering that
 // motivates CESRM's REORDER-DELAY (§3.2): packets spaced more closely
 // than the jitter magnitude can arrive out of order. Jitter applies to
 // the fast (non-queuing) delivery path; the queuing path models strict
-// per-link FIFO and stays jitter-free. A nil rng or non-positive max
-// disables jitter.
+// per-link FIFO and stays jitter-free. A nil rng disables jitter. A
+// non-positive max keeps the rng installed but suppresses all draws, so
+// SetMaxJitter can ramp the magnitude up later without perturbing any
+// random stream in the meantime.
 func (n *Network) EnableJitter(rng *sim.RNG, max time.Duration) {
-	if rng == nil || max <= 0 {
+	if rng == nil {
 		n.jitterRNG = nil
 		n.maxJitter = 0
 		return
 	}
+	if max < 0 {
+		max = 0
+	}
 	n.jitterRNG = rng
 	n.maxJitter = max
 }
+
+// SetMaxJitter changes the jitter magnitude at runtime (delay-jitter
+// ramps), keeping the rng installed by EnableJitter. While the
+// magnitude is zero no random draws happen, so ramping down and back up
+// is deterministic. A no-op when no jitter rng is installed.
+func (n *Network) SetMaxJitter(max time.Duration) {
+	if max < 0 {
+		max = 0
+	}
+	n.maxJitter = max
+}
+
+// MaxJitter returns the current jitter magnitude.
+func (n *Network) MaxJitter() time.Duration { return n.maxJitter }
 
 // jitter draws one delivery's extra delay.
 func (n *Network) jitter() time.Duration {
@@ -406,9 +471,22 @@ func (d *deliveryEvent) Fire(now sim.Time) {
 }
 
 // scheduleDelivery registers delivery of p to h at the given instant
-// using a pooled event. Delivery events hold no Timer and are never
-// cancelled, so recycling on fire is safe.
+// using a pooled event, consulting the duplicate-injection hook for a
+// possible second, later copy. Delivery events hold no Timer and are
+// never cancelled, so recycling on fire is safe.
 func (n *Network) scheduleDelivery(at sim.Time, h Host, p *Packet) {
+	n.scheduleDeliveryOnce(at, h, p)
+	if n.dup != nil {
+		if extra, dup := n.dup(p, at); dup {
+			if extra < 0 {
+				extra = 0
+			}
+			n.scheduleDeliveryOnce(at.Add(extra), h, p)
+		}
+	}
+}
+
+func (n *Network) scheduleDeliveryOnce(at sim.Time, h Host, p *Packet) {
 	var d *deliveryEvent
 	if k := len(n.freeDeliveries); k > 0 {
 		d = n.freeDeliveries[k-1]
@@ -457,6 +535,9 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 				continue
 			}
 			n.visited[next] = gen
+			if n.linkSevered(next) {
+				continue
+			}
 			n.countCrossing(p)
 			// Moving to a child crosses the child's inbound link downward.
 			if n.drop != nil && n.drop(p, next, true) {
@@ -467,6 +548,9 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 		if !downOnly {
 			if parent := n.tree.Parent(v.node); parent != topology.None && n.visited[parent] != gen {
 				n.visited[parent] = gen
+				if n.linkSevered(v.node) {
+					continue
+				}
 				n.countCrossing(p)
 				// Climbing crosses our own inbound link upward.
 				if n.drop == nil || !n.drop(p, v.node, false) {
@@ -521,7 +605,7 @@ func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, do
 		}
 	}
 	for _, next := range n.tree.Children(node) {
-		if next == cameFrom {
+		if next == cameFrom || n.linkSevered(next) {
 			continue
 		}
 		n.countCrossing(p)
@@ -531,7 +615,7 @@ func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, do
 		n.scheduleHop(n.hopArrival(next, true, at, p), origin, next, node, p, downOnly)
 	}
 	if !downOnly {
-		if parent := n.tree.Parent(node); parent != topology.None && parent != cameFrom {
+		if parent := n.tree.Parent(node); parent != topology.None && parent != cameFrom && !n.linkSevered(node) {
 			n.countCrossing(p)
 			if n.drop == nil || !n.drop(p, node, false) {
 				n.scheduleHop(n.hopArrival(node, false, at, p), origin, parent, node, p, downOnly)
@@ -561,6 +645,9 @@ func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
 		} else {
 			next = link
 			down = true
+		}
+		if n.linkSevered(link) {
+			return
 		}
 		n.countCrossing(p)
 		if n.drop != nil && n.drop(p, link, down) {
@@ -605,6 +692,9 @@ func (n *Network) UnicastThenSubcast(from, via topology.NodeID, p *Packet) {
 		} else {
 			next = link
 			down = true
+		}
+		if n.linkSevered(link) {
+			return
 		}
 		n.countCrossing(p)
 		if n.drop != nil && n.drop(p, link, down) {

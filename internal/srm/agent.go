@@ -155,8 +155,12 @@ type Agent struct {
 	// source); stream lookup happens on every delivered packet.
 	streams []*streamState
 
-	stopped      bool
-	crashed      bool
+	stopped bool
+	crashed bool
+	// sessionTimer is the handle of the pending self-rescheduling
+	// session tick, retained so Crash can cancel it (a crashed host must
+	// contribute zero pending events, not an inert one per period).
+	sessionTimer sim.Timer
 	missingDists int
 	// outstanding counts detected-but-unrecovered losses across all
 	// streams, so the monitor's per-period Outstanding polls are O(1)
@@ -227,7 +231,11 @@ func (a *Agent) Sources() []topology.NodeID {
 }
 
 // Stop halts session-message rescheduling. In-flight timers drain
-// naturally.
+// naturally: the already-armed session tick still fires (and does
+// nothing), so a run's final virtual time — which the v1 run
+// fingerprint digests — is unchanged by stopping. Cancelling the timer
+// here would shorten the post-quiesce drain of every crash-free run and
+// invalidate all pinned fingerprints; only Crash reclaims the timer.
 func (a *Agent) Stop() { a.stopped = true }
 
 // Crash makes the host fail-stop: it ceases processing deliveries,
@@ -238,6 +246,7 @@ func (a *Agent) Stop() { a.stopped = true }
 func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
+	a.eng.Cancel(a.sessionTimer)
 	for _, st := range a.streams {
 		if st == nil {
 			continue
@@ -257,6 +266,30 @@ func (a *Agent) Crash() {
 
 // Crashed reports whether Crash has been called.
 func (a *Agent) Crashed() bool { return a.crashed }
+
+// Restart rejoins a crashed host to the group with amnesia, the
+// fail-stop restart model of §3.3's dynamic environments: all
+// reception, loss, reply, distance-estimate, echo and adaptive state is
+// discarded — exactly what a process restarting from scratch holds —
+// and the periodic session exchange resumes, so the host re-learns
+// inter-host distances and re-synchronizes stream state from its peers'
+// session advertisements, re-detecting and re-recovering every packet
+// it is missing through the ordinary SRM machinery. Restarting a live
+// host is a harness bug and panics.
+func (a *Agent) Restart() {
+	if !a.crashed {
+		panic(fmt.Sprintf("srm: restarting host %d that never crashed", a.id))
+	}
+	a.crashed = false
+	a.stopped = false
+	n := a.net.Tree().NumNodes()
+	a.dist = newDistTable(n)
+	a.echo = newEchoState()
+	a.streams = make([]*streamState, n)
+	a.outstanding = 0
+	a.adaptive = adaptiveState{}
+	a.StartSessions()
+}
 
 // Outstanding returns the number of detected losses not yet recovered,
 // across all streams.
@@ -343,7 +376,7 @@ func (a *Agent) SetDistance(n topology.NodeID, d time.Duration) { a.dist[n] = d 
 // first message sent after a random fraction of the session period so
 // that hosts do not fire in lockstep.
 func (a *Agent) StartSessions() {
-	a.eng.Schedule(a.rng.UniformDuration(0, a.p.SessionPeriod), a.sessionTick)
+	a.sessionTimer = a.eng.Schedule(a.rng.UniformDuration(0, a.p.SessionPeriod), a.sessionTick)
 }
 
 func (a *Agent) sessionTick(now sim.Time) {
@@ -362,7 +395,7 @@ func (a *Agent) sessionTick(now sim.Time) {
 	}
 	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Control, Session: true, Msg: m})
 	a.obs.SessionSent(a.id)
-	a.eng.Schedule(a.p.SessionPeriod, a.sessionTick)
+	a.sessionTimer = a.eng.Schedule(a.p.SessionPeriod, a.sessionTick)
 }
 
 // Transmit multicasts original packet seq of this host's own stream.
@@ -669,6 +702,15 @@ func (a *Agent) onSession(now sim.Time, m *SessionMsg) {
 		h := highest
 		stream := st
 		a.eng.Schedule(a.p.DetectionSlack, func(now sim.Time) {
+			// The slack timer is fire-and-forget, so Crash cannot cancel
+			// it: a crashed host must not detect losses, and after a
+			// restart the captured stream object is an orphan — losses
+			// recorded on it could never be recovered (replies resolve
+			// against the new stream), leaving the request back-off loop
+			// running forever.
+			if a.crashed || a.peek(stream.source) != stream {
+				return
+			}
 			a.detectThrough(now, stream, h)
 		})
 	}
@@ -730,6 +772,9 @@ func (a *Agent) ReplyBlocked(now sim.Time, source topology.NodeID, seq int) bool
 // source's stream to the chosen replier, annotated with the cached
 // turning point (None without router assistance).
 func (a *Agent) UnicastExpeditedRequest(source topology.NodeID, seq int, replier, turningPoint topology.NodeID) {
+	if a.crashed {
+		panic(fmt.Sprintf("srm: crashed host %d sending expedited request", a.id))
+	}
 	m := &RequestMsg{
 		Source:          source,
 		Seq:             seq,
@@ -750,6 +795,9 @@ func (a *Agent) UnicastExpeditedRequest(source topology.NodeID, seq int, replier
 // otherwise it is multicast to the whole group. Returns whether a reply
 // was sent.
 func (a *Agent) SendExpeditedReply(now sim.Time, m *RequestMsg, subcast bool) bool {
+	if a.crashed {
+		panic(fmt.Sprintf("srm: crashed host %d sending expedited reply", a.id))
+	}
 	st := a.stream(m.Source)
 	if !st.has(m.Seq) || a.ReplyBlocked(now, m.Source, m.Seq) {
 		return false

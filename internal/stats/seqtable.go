@@ -75,6 +75,15 @@ func (t *seqTable[T]) forEach(fn func(host, source topology.NodeID, seq int, v *
 	}
 }
 
+// resetHost discards every stored cell of one host. A restarted host
+// rejoins with amnesia and legitimately re-detects and re-recovers
+// packets its previous incarnation already audited.
+func (t *seqTable[T]) resetHost(host topology.NodeID) {
+	if int(host) < len(t.hosts) {
+		t.hosts[host] = nil
+	}
+}
+
 // reserve pre-sizes the host axis for hosts 0..n-1.
 func (t *seqTable[T]) reserve(n int) {
 	if n > cap(t.hosts) {

@@ -25,6 +25,19 @@ import (
 //  4. Events never run backwards in time per host.
 //  5. Expedited replies never outnumber expedited requests (an
 //     expedited reply is always instigated by an expedited request).
+//
+// Two further invariants arm under fault injection:
+//
+//  6. Crashed hosts are silent: once NoteCrash is recorded for a host,
+//     any later event from it is a fail-stop violation, until a
+//     NoteRestart (which also resets the host's audit rows — a
+//     restarted host rejoins with amnesia and legitimately re-detects
+//     its losses).
+//  7. Expedited recovery falls back to SRM within a bounded number of
+//     request rounds (BoundExpFallback): a loss that was chased with an
+//     expedited request but recovered unexpedited — the cached replier
+//     was dead or shared the loss — must still complete within the
+//     bound, the paper's §3.3 graceful-degradation claim.
 type Validator struct {
 	violations []string
 
@@ -35,6 +48,15 @@ type Validator struct {
 	// lastEvent is each host's most recent event instant, NodeID-indexed;
 	// -1 marks "no event seen yet".
 	lastEvent []sim.Time
+	// crashedAt is each host's crash instant, NodeID-indexed; -1 marks a
+	// live host.
+	crashedAt []sim.Time
+	// now supplies the virtual clock for events whose callback carries
+	// no instant; nil leaves those unchecked by the silence invariant.
+	now func() sim.Time
+	// fallbackBound is invariant 7's maximum request-round count; zero
+	// disables the check.
+	fallbackBound int
 
 	expReqs    int
 	expReplies int
@@ -42,11 +64,12 @@ type Validator struct {
 
 // packetAudit is the Validator's per-packet cell.
 type packetAudit struct {
-	detAt     sim.Time
-	det       bool
-	recovered bool
-	lastRound int
-	hasRound  bool
+	detAt        sim.Time
+	det          bool
+	recovered    bool
+	lastRound    int
+	hasRound     bool
+	expRequested bool
 }
 
 // NewValidator returns an empty validator.
@@ -57,6 +80,59 @@ func (v *Validator) Reserve(n int) {
 	v.packets.reserve(n)
 	for len(v.lastEvent) < n {
 		v.lastEvent = append(v.lastEvent, -1)
+	}
+	for len(v.crashedAt) < n {
+		v.crashedAt = append(v.crashedAt, -1)
+	}
+}
+
+// SetClock supplies the virtual clock used to place events whose
+// observer callback carries no instant (requests, replies, sessions)
+// relative to crash instants.
+func (v *Validator) SetClock(now func() sim.Time) { v.now = now }
+
+// BoundExpFallback arms invariant 7: a loss chased by an expedited
+// request that recovers unexpedited must do so within rounds request
+// rounds. Zero disables the check.
+func (v *Validator) BoundExpFallback(rounds int) { v.fallbackBound = rounds }
+
+// NoteCrash records that host fail-stopped at the given instant; any
+// later event from it violates invariant 6. Implements the chaos
+// harness's Probe surface.
+func (v *Validator) NoteCrash(host topology.NodeID, at sim.Time) {
+	for int(host) >= len(v.crashedAt) {
+		v.crashedAt = append(v.crashedAt, -1)
+	}
+	v.crashedAt[host] = at
+}
+
+// NoteRestart records that host rejoined. Its audit rows reset: the new
+// incarnation starts blank and re-detects its losses.
+func (v *Validator) NoteRestart(host topology.NodeID, at sim.Time) {
+	for int(host) >= len(v.crashedAt) {
+		v.crashedAt = append(v.crashedAt, -1)
+	}
+	v.crashedAt[host] = -1
+	v.packets.resetHost(host)
+}
+
+// clock returns the current virtual instant, or -1 when no clock is
+// installed.
+func (v *Validator) clockNow() sim.Time {
+	if v.now == nil {
+		return -1
+	}
+	return v.now()
+}
+
+// silence checks invariant 6 for an event of host at the given instant;
+// a negative instant (no clock) skips the check.
+func (v *Validator) silence(host topology.NodeID, at sim.Time, what string) {
+	if at < 0 || int(host) >= len(v.crashedAt) {
+		return
+	}
+	if c := v.crashedAt[host]; c >= 0 && at > c {
+		v.violate("host %d: %s at %v after crash at %v", host, what, at, c)
 	}
 }
 
@@ -90,6 +166,7 @@ func (v *Validator) clock(host topology.NodeID, at sim.Time) {
 // LossDetected implements srm.Observer.
 func (v *Validator) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
 	v.clock(host, at)
+	v.silence(host, at, "loss detection")
 	p := v.packets.ensure(host, source, seq)
 	if p.det {
 		v.violate("host %d: loss (%d,%d) detected twice", host, source, seq)
@@ -101,7 +178,12 @@ func (v *Validator) LossDetected(host, source topology.NodeID, seq int, at sim.T
 // Recovered implements srm.Observer.
 func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
 	v.clock(host, at)
+	v.silence(host, at, "recovery")
 	p := v.packets.ensure(host, source, seq)
+	if v.fallbackBound > 0 && p.expRequested && !info.Expedited && info.OwnRequests > v.fallbackBound {
+		v.violate("host %d: SRM fallback for expedited (%d,%d) took %d request rounds (bound %d)",
+			host, source, seq, info.OwnRequests, v.fallbackBound)
+	}
 	if !p.det {
 		v.violate("host %d: recovery of (%d,%d) without detection", host, source, seq)
 	} else if at.Before(p.detAt) {
@@ -118,6 +200,7 @@ func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time
 
 // RequestSent implements srm.Observer.
 func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int) {
+	v.silence(host, v.clockNow(), "request")
 	p := v.packets.ensure(host, source, seq)
 	if p.recovered {
 		v.violate("host %d: request for already-recovered (%d,%d)", host, source, seq)
@@ -138,11 +221,18 @@ func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int
 
 // ExpRequestSent implements srm.Observer.
 func (v *Validator) ExpRequestSent(host, source topology.NodeID, seq int) {
+	v.silence(host, v.clockNow(), "expedited request")
 	v.expReqs++
+	p := v.packets.ensure(host, source, seq)
+	if p.recovered {
+		v.violate("host %d: expedited request for already-recovered (%d,%d)", host, source, seq)
+	}
+	p.expRequested = true
 }
 
 // ReplySent implements srm.Observer.
 func (v *Validator) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	v.silence(host, v.clockNow(), "reply")
 	if expedited {
 		v.expReplies++
 		if v.expReplies > v.expReqs {
@@ -152,7 +242,9 @@ func (v *Validator) ReplySent(host, source topology.NodeID, seq int, expedited b
 }
 
 // SessionSent implements srm.Observer.
-func (v *Validator) SessionSent(host topology.NodeID) {}
+func (v *Validator) SessionSent(host topology.NodeID) {
+	v.silence(host, v.clockNow(), "session message")
+}
 
 // Tee fans protocol events out to several observers, letting a metrics
 // collector and a validator watch the same run.
