@@ -10,6 +10,7 @@ import (
 	"cesrm/internal/lossinfer"
 	"cesrm/internal/netsim"
 	"cesrm/internal/sim"
+	"cesrm/internal/soak"
 	"cesrm/internal/srm"
 	"cesrm/internal/stats"
 	"cesrm/internal/topology"
@@ -30,6 +31,24 @@ type Timer = sim.Timer
 
 // RNG is the seeded random source all protocol randomness flows through.
 type RNG = sim.RNG
+
+// Budget holds the engine's optional guardrails: bounds on virtual
+// time, dispatched events and pending timers, plus the same-instant
+// progress watchdog. The zero value disables every guardrail.
+type Budget = sim.Budget
+
+// TerminationStatus reports how an engine run ended (Completed, or
+// which guardrail tripped).
+type TerminationStatus = sim.TerminationStatus
+
+// Termination statuses.
+const (
+	Completed             = sim.Completed
+	DeadlineExceeded      = sim.DeadlineExceeded
+	EventBudgetExceeded   = sim.EventBudgetExceeded
+	PendingBudgetExceeded = sim.PendingBudgetExceeded
+	Stalled               = sim.Stalled
+)
 
 // NewEngine returns an engine at virtual time zero.
 func NewEngine() *Engine { return sim.NewEngine() }
@@ -324,3 +343,25 @@ func ParseChaosSpec(text string) (*ChaosSpec, error) { return chaos.ParseSpec(te
 func ChaosScenarios(tree *Tree, horizon time.Duration) []*ChaosSpec {
 	return chaos.Scenarios(tree, horizon)
 }
+
+// ---- Soak harness ----
+
+// SoakConfig parameterizes a chaos-fuzzing soak campaign.
+type SoakConfig = soak.Config
+
+// SoakResult summarizes a soak campaign.
+type SoakResult = soak.Result
+
+// SoakFailure is one classified soak trial failure.
+type SoakFailure = soak.Failure
+
+// SoakEntry is one replayable corpus scenario
+// (testdata/soak-corpus/*.spec).
+type SoakEntry = soak.Entry
+
+// Soak runs a seeded chaos-fuzzing campaign — the harness behind
+// `cesrm-soak`.
+func Soak(cfg SoakConfig) (*SoakResult, error) { return soak.Run(cfg) }
+
+// DefaultSoakBudget returns the soak harness's guardrail configuration.
+func DefaultSoakBudget() Budget { return soak.DefaultBudget() }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSoakOutputIsBitReproducible is the CLI acceptance criterion:
+// cesrm-soak -seed S -trials N prints byte-identical output across
+// runs.
+func TestSoakOutputIsBitReproducible(t *testing.T) {
+	args := []string{"-seed", "3", "-trials", "5", "-scale", "0.01", "-traces", "4", "-protocols", "SRM,CESRM"}
+	runOnce := func() (int, string) {
+		var out, errb bytes.Buffer
+		code := run(args, &out, &errb)
+		if errb.Len() > 0 {
+			t.Fatalf("stderr: %s", errb.String())
+		}
+		return code, out.String()
+	}
+	codeA, outA := runOnce()
+	codeB, outB := runOnce()
+	if codeA != codeB || outA != outB {
+		t.Fatalf("runs diverged (codes %d/%d):\n--- first\n%s--- second\n%s", codeA, codeB, outA, outB)
+	}
+	if !strings.Contains(outA, "soak: 5 trials") {
+		t.Fatalf("missing summary in output:\n%s", outA)
+	}
+}
+
+// TestReplayCommittedCorpus replays the repo corpus through the CLI:
+// exit 0, every entry reported with a structured status.
+func TestReplayCommittedCorpus(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-replay", "../../testdata/soak-corpus"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout:\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "pr4-clock-overflow.spec: ok status=Completed") {
+		t.Fatalf("PR 4 entry did not replay to completion:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 fatal") {
+		t.Fatalf("replay summary missing:\n%s", out.String())
+	}
+}
+
+// TestBadFlagsExitTwo pins usage errors apart from trial failures.
+func TestBadFlagsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-protocols", "WARP"}, &out, &errb); code != 2 {
+		t.Fatalf("bad protocol exited %d, want 2", code)
+	}
+	if code := run([]string{"-traces", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad trace list exited %d, want 2", code)
+	}
+}

@@ -239,6 +239,10 @@ func (s *Spec) Validate(tree *topology.Tree) error {
 }
 
 // String renders the spec in the compact text format ParseSpec accepts.
+// It is a right inverse of ParseSpec: options holding their parse-time
+// zero value (Host/Link None, zero Max/Prob/Delay) are omitted rather
+// than rendered, since the parser — which rejects negative hosts and
+// zero probabilities — could never have produced them from text.
 func (s *Spec) String() string {
 	parts := make([]string, 0, len(s.Faults))
 	for _, f := range s.Faults {
@@ -250,17 +254,27 @@ func (s *Spec) String() string {
 		var opts []string
 		switch f.Kind {
 		case Crash, Restart:
-			opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			if f.Host != topology.None {
+				opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			}
 			if f.Purge {
 				opts = append(opts, "purge")
 			}
 		case LinkDown, LinkUp:
-			opts = append(opts, fmt.Sprintf("link=%d", f.Link))
+			if f.Link != topology.LinkID(topology.None) {
+				opts = append(opts, fmt.Sprintf("link=%d", f.Link))
+			}
 		case Jitter:
-			opts = append(opts, fmt.Sprintf("max=%s", f.Max))
+			if f.Max != 0 {
+				opts = append(opts, fmt.Sprintf("max=%s", f.Max))
+			}
 		case Duplicate:
-			opts = append(opts, fmt.Sprintf("prob=%s", strconv.FormatFloat(f.Prob, 'g', -1, 64)),
-				fmt.Sprintf("delay=%s", f.Delay))
+			if f.Prob != 0 {
+				opts = append(opts, fmt.Sprintf("prob=%s", strconv.FormatFloat(f.Prob, 'g', -1, 64)))
+			}
+			if f.Delay != 0 {
+				opts = append(opts, fmt.Sprintf("delay=%s", f.Delay))
+			}
 		case Starve:
 			if f.Host != topology.None {
 				opts = append(opts, fmt.Sprintf("host=%d", f.Host))
@@ -306,6 +320,45 @@ func ParseSpec(text string) (*Spec, error) {
 	return s, nil
 }
 
+// maxSpecDuration is the parser's ceiling on every duration in a spec:
+// one year of virtual time, orders of magnitude past any trace horizon
+// but small enough that horizon arithmetic (fault instants plus back-off
+// multiples) can never approach int64 overflow. Durations at or beyond
+// it are almost certainly fuzzer artifacts or unit typos, and rejecting
+// them here keeps overflow pathologies out of the engine entirely.
+const maxSpecDuration = 365 * 24 * time.Hour
+
+// specDuration parses a duration operand, rejecting negative values and
+// values beyond the spec ceiling with precise errors. what names the
+// operand in errors.
+func specDuration(what, text string) (time.Duration, error) {
+	d, err := time.ParseDuration(text)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", what, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative %s %v", what, d)
+	}
+	if d >= maxSpecDuration {
+		return 0, fmt.Errorf("%s %v at or beyond the %v spec ceiling", what, d, maxSpecDuration)
+	}
+	return d, nil
+}
+
+// faultOptions names the option keys each kind accepts. Rejecting
+// inapplicable keys at parse time (rather than silently ignoring them)
+// keeps the parser a left inverse of String: every accepted fault
+// renders back to text that reparses to the same fault.
+var faultOptions = map[Kind]string{
+	Crash:     "host,purge",
+	Restart:   "host",
+	LinkDown:  "link",
+	LinkUp:    "link",
+	Jitter:    "max",
+	Duplicate: "prob,delay",
+	Starve:    "host",
+}
+
 func parseFault(text string) (Fault, error) {
 	f := Fault{Host: topology.None, Link: topology.LinkID(topology.None)}
 	head, opts, hasOpts := strings.Cut(text, ":")
@@ -332,28 +385,48 @@ func parseFault(text string) (Fault, error) {
 		return f, fmt.Errorf("unknown fault kind %q", kindStr)
 	}
 	from, to, windowed := strings.Cut(when, "-")
-	at, err := time.ParseDuration(from)
+	at, err := specDuration("instant", from)
 	if err != nil {
-		return f, fmt.Errorf("bad instant: %w", err)
+		return f, err
 	}
 	f.At = at
 	if windowed {
-		until, err := time.ParseDuration(to)
+		until, err := specDuration("window end", to)
 		if err != nil {
-			return f, fmt.Errorf("bad window end: %w", err)
+			return f, err
+		}
+		if until <= f.At {
+			return f, fmt.Errorf("window end %v not after instant %v", until, f.At)
 		}
 		f.Until = until
 	}
 	if !hasOpts {
 		return f, nil
 	}
+	allowed := faultOptions[f.Kind]
+	seen := make(map[string]bool, 4)
 	for _, opt := range strings.Split(opts, ",") {
 		key, val, hasVal := strings.Cut(opt, "=")
+		switch key {
+		case "host", "link", "max", "delay", "prob", "purge":
+			if !optionAllowed(allowed, key) {
+				return f, fmt.Errorf("option %q does not apply to %s faults", key, f.Kind)
+			}
+		default:
+			return f, fmt.Errorf("unknown option %q", key)
+		}
+		if seen[key] {
+			return f, fmt.Errorf("duplicate option %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "host":
 			n, err := strconv.Atoi(val)
 			if err != nil {
 				return f, fmt.Errorf("bad host: %w", err)
+			}
+			if n < 0 {
+				return f, fmt.Errorf("negative host %d", n)
 			}
 			f.Host = topology.NodeID(n)
 		case "link":
@@ -361,17 +434,20 @@ func parseFault(text string) (Fault, error) {
 			if err != nil {
 				return f, fmt.Errorf("bad link: %w", err)
 			}
+			if n < 0 {
+				return f, fmt.Errorf("negative link %d", n)
+			}
 			f.Link = topology.LinkID(n)
 		case "max":
-			d, err := time.ParseDuration(val)
+			d, err := specDuration("max", val)
 			if err != nil {
-				return f, fmt.Errorf("bad max: %w", err)
+				return f, err
 			}
 			f.Max = d
 		case "delay":
-			d, err := time.ParseDuration(val)
+			d, err := specDuration("delay", val)
 			if err != nil {
-				return f, fmt.Errorf("bad delay: %w", err)
+				return f, err
 			}
 			f.Delay = d
 		case "prob":
@@ -379,17 +455,33 @@ func parseFault(text string) (Fault, error) {
 			if err != nil {
 				return f, fmt.Errorf("bad prob: %w", err)
 			}
+			// The open comparison rejects NaN alongside out-of-range
+			// values: a NaN probability would otherwise defeat every
+			// comparison in the duplicate-injection hook and duplicate
+			// all traffic.
+			if !(p > 0 && p <= 1) {
+				return f, fmt.Errorf("prob %v outside (0,1]", p)
+			}
 			f.Prob = p
 		case "purge":
 			if hasVal {
 				return f, fmt.Errorf("purge takes no value")
 			}
 			f.Purge = true
-		default:
-			return f, fmt.Errorf("unknown option %q", key)
 		}
 	}
 	return f, nil
+}
+
+// optionAllowed reports whether key appears in the comma-separated
+// allowed list.
+func optionAllowed(allowed, key string) bool {
+	for _, k := range strings.Split(allowed, ",") {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // Scenarios builds the deterministic scenario matrix for a topology:

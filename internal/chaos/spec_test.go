@@ -131,3 +131,47 @@ func TestScenariosAreValidAndDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecHardening pins the parse-time rejections added for the
+// soak fuzzer: ill-formed windows, duplicate and inapplicable options,
+// and negative or overflow-scale durations must fail with precise
+// errors instead of surviving until Validate (or, worse, the engine).
+func TestParseSpecHardening(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // substring of the error
+	}{
+		{"crash@40s-30s:host=1", "not after instant"},
+		{"crash@40s-40s:host=1", "not after instant"},
+		// A leading "-" reads as the window separator, so a negative
+		// instant is a syntax error; a negative window end is reachable.
+		{"jitter@-5s-10s:max=1ms", "bad instant"},
+		{"jitter@5s--10s:max=1ms", "negative window end"},
+		{"crash@9000h:host=1", "spec ceiling"},
+		{"jitter@1s-9000h:max=1ms", "spec ceiling"},
+		{"jitter@1s-2s:max=-1ms", "negative max"},
+		{"jitter@1s-2s:max=9000h", "spec ceiling"},
+		{"dup@1s-2s:prob=0.5,delay=-2ms", "negative delay"},
+		{"crash@1s:host=2,host=3", "duplicate option"},
+		{"crash@1s:purge,purge", "duplicate option"},
+		{"dup@1s-2s:prob=0.5,prob=0.6", "duplicate option"},
+		{"jitter@1s-2s:max=1ms,host=3", "does not apply"},
+		{"crash@1s:host=1,max=5ms", "does not apply"},
+		{"starve@1s-2s:link=4", "does not apply"},
+		{"crash@1s:host=-2", "negative host"},
+		{"link-down@1s-2s:link=-1", "negative link"},
+		{"dup@1s-2s:prob=NaN,delay=1ms", "outside (0,1]"},
+		{"dup@1s-2s:prob=0,delay=1ms", "outside (0,1]"},
+		{"dup@1s-2s:prob=1.5,delay=1ms", "outside (0,1]"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.text)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) error %q, want substring %q", c.text, err, c.want)
+		}
+	}
+}

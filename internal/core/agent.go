@@ -139,7 +139,14 @@ func (a *Agent) Cache(source topology.NodeID) *Cache {
 		var err error
 		c, err = NewCache(a.capacity)
 		if err != nil {
-			panic(err) // capacity validated at construction
+			// Capacity was validated at construction, so this is an
+			// internal invariant breach; the typed panic keeps the host
+			// context so fuzzing harnesses can attribute it.
+			panic(&InternalError{
+				Host: a.ID(),
+				Op:   fmt.Sprintf("creating recovery cache for source %d", source),
+				Err:  err,
+			})
 		}
 		a.caches[source] = c
 	}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"cesrm/internal/topology"
+)
+
+// InternalError is the panic value raised when the CESRM layer hits a
+// state that construction-time validation was supposed to rule out. It
+// is typed — rather than a bare panic(err) — so that harnesses running
+// many randomized trials (the soak fuzzer) can recover it, attribute
+// the failure to a host and operation, and minimize the schedule that
+// provoked it instead of dying.
+type InternalError struct {
+	// Host is the agent the invariant broke on.
+	Host topology.NodeID
+	// Op names the operation that failed.
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("cesrm: host %d: %s: %v", e.Host, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *InternalError) Unwrap() error { return e.Err }

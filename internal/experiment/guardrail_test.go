@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// TestBudgetAbortDegradesGracefully checks that a run tripping a
+// guardrail returns a structured result — termination status plus a
+// diagnostic snapshot with per-host outstanding losses — instead of an
+// error, a hang or a panic, and that the clock never passes the bound.
+func TestBudgetAbortDegradesGracefully(t *testing.T) {
+	tr := smallTrace(t, 42)
+	budget := sim.Budget{MaxVirtualTime: sim.Time(2 * time.Second)} // inside the 3 s warmup
+	res, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 9, Budget: budget})
+	if err != nil {
+		t.Fatalf("budget abort surfaced as error: %v", err)
+	}
+	if res.Status != sim.DeadlineExceeded {
+		t.Fatalf("Status = %v, want DeadlineExceeded", res.Status)
+	}
+	if res.Diag == nil {
+		t.Fatal("aborted run carries no diagnostic")
+	}
+	if res.Diag.Clock > sim.Time(2*time.Second) {
+		t.Errorf("clock %v advanced past the %v budget", res.Diag.Clock, 2*time.Second)
+	}
+	if res.FinishedAt != res.Diag.Clock {
+		t.Errorf("FinishedAt %v != diagnostic clock %v", res.FinishedAt, res.Diag.Clock)
+	}
+	if res.Diag.Pending == 0 {
+		t.Error("diagnostic reports no pending events for a run aborted mid-flight")
+	}
+	if res.Fingerprint == "" {
+		t.Error("aborted run has no fingerprint")
+	}
+}
+
+// TestBudgetAbortIsDeterministic checks that aborted runs are exactly
+// as reproducible as completed ones: same config, same partial
+// fingerprint, same diagnostic.
+func TestBudgetAbortIsDeterministic(t *testing.T) {
+	tr := smallTrace(t, 43)
+	cfg := RunConfig{Trace: tr, Protocol: SRM, Seed: 3,
+		Budget: sim.Budget{MaxEvents: 20000}}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != sim.EventBudgetExceeded || b.Status != a.Status {
+		t.Fatalf("statuses %v/%v, want EventBudgetExceeded twice", a.Status, b.Status)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("aborted-run fingerprints diverged: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Diag.String() != b.Diag.String() {
+		t.Fatalf("diagnostics diverged:\n  %s\n  %s", a.Diag, b.Diag)
+	}
+}
+
+// TestZeroBudgetLeavesGoldensUntouched pins the acceptance criterion
+// that an explicitly zero budget configuration is behaviorally
+// invisible: the golden fingerprints of TestGoldenFingerprints must
+// come out byte-identical with the guardrail field present-but-off, and
+// identical again with every guardrail armed generously enough never to
+// trip.
+func TestZeroBudgetLeavesGoldensUntouched(t *testing.T) {
+	tr := smallTrace(t, 99)
+	want := map[Protocol]string{
+		SRM:   "v1:6b106a9023156b50a7f8f7e901c18d83",
+		CESRM: "v1:22d0cfe77977f428f0d688a0724d2986",
+		LMS:   "v1:a3df4258a922f846f7133ee92a9f1ea5",
+	}
+	generous := sim.Budget{
+		MaxVirtualTime: sim.Time(24 * time.Hour),
+		MaxEvents:      1 << 40,
+		MaxPending:     1 << 30,
+		StallEvents:    1 << 30,
+	}
+	for p, fp := range want {
+		for _, b := range []sim.Budget{{}, generous} {
+			res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123, Budget: b})
+			if err != nil {
+				t.Fatalf("%v (budget %+v): %v", p, b, err)
+			}
+			if res.Status != sim.Completed {
+				t.Fatalf("%v (budget %+v): status %v", p, b, res.Status)
+			}
+			if res.Fingerprint != fp {
+				t.Errorf("%v (budget %+v) fingerprint drifted:\n got  %s\n want %s",
+					p, b, res.Fingerprint, fp)
+			}
+		}
+	}
+}
+
+// TestSuiteContinueOnErrorRecordsFailures checks the sweep-level
+// graceful degradation: with ContinueOnError a failing trace is
+// recorded in its slot and later traces still run.
+func TestSuiteContinueOnErrorRecordsFailures(t *testing.T) {
+	// An unconditionally invalid chaos spec fails every pair at
+	// validation time, before any simulation work.
+	bad := &chaos.Spec{Name: "bad", Faults: []chaos.Fault{
+		{Kind: chaos.Crash, At: -time.Second, Host: topology.NodeID(1)},
+	}}
+	s := Suite{Scale: 0.01, Seed: 1, Traces: []int{4, 13},
+		Base: RunConfig{Chaos: bad}, ContinueOnError: true}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatalf("ContinueOnError suite aborted: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("result %d: failure not recorded", i)
+		}
+		if r.Pair != nil {
+			t.Errorf("result %d: failed entry has a pair", i)
+		}
+		if r.Entry.Index == 0 {
+			t.Errorf("result %d: entry not recorded", i)
+		}
+	}
+	// Parallel path behaves identically.
+	s.Parallel = 2
+	presults, err := s.Run()
+	if err != nil {
+		t.Fatalf("parallel ContinueOnError suite aborted: %v", err)
+	}
+	for i, r := range presults {
+		if r.Err == nil {
+			t.Errorf("parallel result %d: failure not recorded", i)
+		}
+	}
+}
+
+// TestSuiteCarriesTerminationStatuses checks budget statuses propagate
+// through SuiteResult without turning the sweep into an error.
+func TestSuiteCarriesTerminationStatuses(t *testing.T) {
+	s := Suite{Scale: 0.01, Seed: 1, Traces: []int{4},
+		Base: RunConfig{Budget: sim.Budget{MaxVirtualTime: sim.Time(2 * time.Second)}}}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].SRMStatus; got != sim.DeadlineExceeded {
+		t.Errorf("SRMStatus = %v, want DeadlineExceeded", got)
+	}
+	if got := results[0].CESRMStatus; got != sim.DeadlineExceeded {
+		t.Errorf("CESRMStatus = %v, want DeadlineExceeded", got)
+	}
+	if results[0].Err != nil {
+		t.Errorf("budget abort recorded as suite error: %v", results[0].Err)
+	}
+}

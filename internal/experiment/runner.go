@@ -109,6 +109,13 @@ type RunConfig struct {
 	// restarted host legitimately re-detects everything) and arm the
 	// validator's post-crash-silence and bounded-fallback invariants.
 	Chaos *chaos.Spec
+	// Budget installs the engine's optional guardrails: bounds on
+	// virtual time, dispatched events and pending timers, plus the
+	// same-instant progress watchdog. A run that trips a bound
+	// terminates with a structured RunResult.Status and Diag instead of
+	// overflowing or hanging. The zero value disables every guardrail
+	// and leaves run fingerprints byte-identical to budget-free builds.
+	Budget sim.Budget
 	// Seed drives all protocol randomness (timer draws, session
 	// offsets, lossy-recovery drops).
 	Seed int64
@@ -158,6 +165,67 @@ type RunResult struct {
 	RTT stats.RTTFunc
 	// Receivers lists the receiver nodes in trace order.
 	Receivers []topology.NodeID
+	// Status reports how the engine terminated. The zero value,
+	// sim.Completed, is the only status budget-free runs ever produce;
+	// any other value means a RunConfig.Budget guardrail aborted the run
+	// and Diag describes where it stood.
+	Status sim.TerminationStatus
+	// Diag is the diagnostic snapshot of a budget-aborted run; nil when
+	// Status is sim.Completed.
+	Diag *Diagnostic
+}
+
+// Diagnostic snapshots a budget-aborted run: where the virtual clock
+// stood, how much work was queued and done, which receivers still had
+// unrecovered losses, and any invariant violations the online validator
+// had already accumulated.
+type Diagnostic struct {
+	// Clock is the virtual instant of the last executed event.
+	Clock sim.Time
+	// Pending counts live scheduled events left in the queue.
+	Pending int
+	// Executed counts events dispatched before the abort.
+	Executed uint64
+	// Outstanding lists receivers with unrecovered losses, in trace
+	// receiver order (crashed hosts excluded — they can never recover).
+	Outstanding []HostOutstanding
+	// Violations holds the validator's breaches observed before the
+	// abort, if any.
+	Violations []stats.Violation
+}
+
+// HostOutstanding is one receiver's unrecovered-loss count.
+type HostOutstanding struct {
+	Host        topology.NodeID
+	Outstanding int
+}
+
+// String renders the diagnostic on one line.
+func (d *Diagnostic) String() string {
+	s := fmt.Sprintf("clock=%v pending=%d executed=%d", d.Clock, d.Pending, d.Executed)
+	for _, h := range d.Outstanding {
+		s += fmt.Sprintf(" host%d:outstanding=%d", h.Host, h.Outstanding)
+	}
+	if n := len(d.Violations); n > 0 {
+		s += fmt.Sprintf(" violations=%d first=%q", n, d.Violations[0].Detail)
+	}
+	return s
+}
+
+// QuiesceError reports that a run failed to recover every loss within
+// MaxTail after the last data packet — a protocol liveness failure (or
+// extreme lossy-recovery unluck). It is typed so harnesses can classify
+// it apart from invariant violations.
+type QuiesceError struct {
+	Trace    string
+	Protocol Protocol
+	MaxTail  time.Duration
+}
+
+// Error implements error.
+func (e *QuiesceError) Error() string {
+	return fmt.Sprintf("experiment: %s/%s did not quiesce within %v after last data packet",
+		e.Trace, e.Protocol, e.MaxTail)
 }
 
 // agent abstracts over the protocol endpoints' lifecycle.
@@ -231,6 +299,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 	// Stage 2: build the simulated network with the loss-injection hook.
 	eng := sim.NewEngine()
+	eng.SetBudget(cfg.Budget)
 	net := netsim.New(eng, tree, cfg.Net)
 	rootRNG := sim.NewRNG(cfg.Seed)
 	dropRNG := rootRNG.Split()
@@ -437,9 +506,47 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	eng.Schedule(cfg.SRM.SessionPeriod, monitor)
 
 	finished := eng.Run()
+	rtt := func(h topology.NodeID) time.Duration {
+		return net.RTT(h, source)
+	}
+	receivers := tree.Receivers()
+	if status := eng.Termination(); status != sim.Completed {
+		// Graceful degradation: a guardrail aborted the run. Skip the
+		// completion verification (the run did not finish and would fail
+		// it vacuously) and hand back everything observed so far plus a
+		// diagnostic snapshot, so sweeps and the soak harness can record
+		// the trial and continue. The event prefix is deterministic, so
+		// the partial fingerprint is still a pure function of cfg.
+		snap := eng.Snapshot()
+		diag := &Diagnostic{Clock: snap.Now, Pending: snap.Pending, Executed: snap.Executed}
+		for _, r := range receivers {
+			a := inspectors[r]
+			if a.Crashed() {
+				continue
+			}
+			if n := a.Outstanding(); n > 0 {
+				diag.Outstanding = append(diag.Outstanding, HostOutstanding{Host: r, Outstanding: n})
+			}
+		}
+		diag.Violations = validator.ViolationRecords()
+		return &RunResult{
+			Config:                cfg,
+			Collector:             collector,
+			Crossings:             net.Counts(),
+			InferredRates:         rates,
+			InferenceConfidence95: inferred.Confidence(0.95),
+			FinishedAt:            snap.Now,
+			Fingerprint: computeFingerprint(recorder.Events(), net.Counts(),
+				snap.Now, receivers, collector, rtt),
+			Events:    recorder.Events(),
+			RTT:       rtt,
+			Receivers: receivers,
+			Status:    status,
+			Diag:      diag,
+		}, nil
+	}
 	if timedOut {
-		return nil, fmt.Errorf("experiment: %s/%s did not quiesce within %v after last data packet",
-			tr.Name, cfg.Protocol, cfg.MaxTail)
+		return nil, &QuiesceError{Trace: tr.Name, Protocol: cfg.Protocol, MaxTail: cfg.MaxTail}
 	}
 
 	// Stage 5: verify the run reenacted the trace faithfully. A receiver
@@ -478,10 +585,6 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 	}
 
-	rtt := func(h topology.NodeID) time.Duration {
-		return net.RTT(h, source)
-	}
-	receivers := tree.Receivers()
 	return &RunResult{
 		Config:                cfg,
 		Collector:             collector,

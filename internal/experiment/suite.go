@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cesrm/internal/lossinfer"
+	"cesrm/internal/sim"
 	"cesrm/internal/trace"
 )
 
@@ -38,6 +39,13 @@ type Suite struct {
 	// as soon as each pair finishes, keeping peak heap proportional to
 	// one trace's metrics instead of every trace's full event history.
 	KeepEvents bool
+	// ContinueOnError degrades the sweep gracefully: a trace whose pair
+	// fails (invariant violation, non-quiescence, chaos rejection) is
+	// recorded in its SuiteResult.Err and the remaining traces still
+	// run, instead of the whole sweep aborting on the first failure.
+	// Budget-aborted runs (see RunConfig.Budget) are not errors in
+	// either mode — they surface through the result statuses.
+	ContinueOnError bool
 }
 
 // SuiteResult holds one trace's pair plus its generation target.
@@ -54,6 +62,14 @@ type SuiteResult struct {
 	// scheduler contention; comparable across revisions only at
 	// Parallel=1.
 	Elapsed time.Duration
+	// SRMStatus and CESRMStatus report how each run's engine terminated
+	// (sim.Completed unless a Base.Budget guardrail aborted it).
+	SRMStatus   sim.TerminationStatus
+	CESRMStatus sim.TerminationStatus
+	// Err records the pair's failure when the suite ran with
+	// ContinueOnError; Pair is nil in that case. Always nil otherwise —
+	// without ContinueOnError a failure aborts the whole sweep.
+	Err error
 }
 
 // Run executes the suite, optionally simulating traces concurrently
@@ -97,7 +113,7 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		pair, err := RunPair(traces[i], PairConfig{Base: base})
 		elapsed := time.Since(started)
 		if err != nil {
-			return SuiteResult{}, fmt.Errorf("experiment: trace %d (%s): %w", idx, entry.Name, err)
+			return SuiteResult{Entry: entry}, fmt.Errorf("experiment: trace %d (%s): %w", idx, entry.Name, err)
 		}
 		if !s.KeepEvents {
 			pair.SRM.Events = nil
@@ -109,6 +125,8 @@ func (s Suite) Run() ([]SuiteResult, error) {
 			SRMFingerprint:   pair.SRM.Fingerprint,
 			CESRMFingerprint: pair.CESRM.Fingerprint,
 			Elapsed:          elapsed,
+			SRMStatus:        pair.SRM.Status,
+			CESRMStatus:      pair.CESRM.Status,
 		}, nil
 	}
 
@@ -117,6 +135,11 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		for i, idx := range selected {
 			r, err := runOne(i, idx)
 			if err != nil {
+				if s.ContinueOnError {
+					r.Err = err
+					out[i] = r
+					continue
+				}
 				return nil, err
 			}
 			out[i] = r
@@ -139,6 +162,14 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		}(i, idx)
 	}
 	wg.Wait()
+	if s.ContinueOnError {
+		for i, err := range errs {
+			if err != nil {
+				out[i].Err = err
+			}
+		}
+		return out, nil
+	}
 	// Surface the failure of the lowest catalog index, not whichever
 	// position happens to come first in the selection: errors then read
 	// the same regardless of how -traces ordered the selection.
@@ -161,6 +192,9 @@ func RenderTable1(w io.Writer, results []SuiteResult) {
 	fmt.Fprintln(w, "Table 1: IP multicast traces (generated vs paper)")
 	fmt.Fprintln(tw, "#\tTrace\tRcvrs\tDepth\tPeriod\tPkts\tLosses\tPaperPkts\tPaperLosses\tBurstLen")
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		st := r.Pair.Trace.ComputeStats()
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.1f\n",
 			r.Entry.Index, st.Name, st.Receivers, st.TreeDepth, st.Period,
@@ -176,6 +210,9 @@ func RenderSec42(w io.Writer, results []SuiteResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "#\tTrace\t>95%\t>98%\tGroundTruth")
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		tr := r.Pair.Trace
 		res, err := lossinfer.Infer(tr, r.Pair.SRM.InferredRates)
 		if err != nil {
@@ -196,6 +233,9 @@ func RenderSec42(w io.Writer, results []SuiteResult) {
 func RenderFigure1(w io.Writer, results []SuiteResult) {
 	fmt.Fprintln(w, "Figure 1: per-receiver average normalized recovery time (RTT units)")
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		fmt.Fprintf(w, "Trace %s (CESRM reduction %.0f%%):\n", r.Entry.Name, r.Pair.LatencyReductionPct())
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "  Receiver\tSRM\tCESRM\tReduction")
@@ -214,6 +254,9 @@ func RenderFigure1(w io.Writer, results []SuiteResult) {
 func RenderFigure2(w io.Writer, results []SuiteResult) {
 	fmt.Fprintln(w, "Figure 2: CESRM expedited vs non-expedited normalized recovery difference (RTT units)")
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		fmt.Fprintf(w, "Trace %s:\n", r.Entry.Name)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "  Receiver\tExpedited\tNon-exp\tDelta")
@@ -229,6 +272,9 @@ func RenderFigure2(w io.Writer, results []SuiteResult) {
 func renderCounts(w io.Writer, results []SuiteResult, title string, rows func(*Pair) []PacketCountRow) {
 	fmt.Fprintln(w, title)
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		fmt.Fprintf(w, "Trace %s:\n", r.Entry.Name)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "  Host\tSRM(mcast)\tCESRM(mcast)\tCESRM-EXP")
@@ -258,6 +304,9 @@ func RenderFigure5(w io.Writer, results []SuiteResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "#\tTrace\tExpSuccess\tRetrans%\tCtlMcast%\tCtlUcast%\tCtlTotal%")
 	for _, r := range results {
+		if r.Pair == nil {
+			continue
+		}
 		succ, ok := r.Pair.ExpeditedSuccess()
 		succStr := "n/a"
 		if ok {
@@ -278,6 +327,9 @@ func RenderSummary(w io.Writer, results []SuiteResult) {
 	fmt.Fprintln(tw, "#\tTrace\tSRM RTTs\tCESRM RTTs\tReduction\tSRM 1st-round\tExpSucc")
 	for _, r := range results {
 		p := r.Pair
+		if p == nil {
+			continue
+		}
 		s := p.SRM.Collector.OverallNormalized(p.SRM.RTT)
 		c := p.CESRM.Collector.OverallNormalized(p.CESRM.RTT)
 		fr := p.SRM.Collector.FirstRoundNormalized(p.SRM.RTT)

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func at(ms int) Time { return Time(time.Duration(ms) * time.Millisecond) }
+
+// TestBudgetDeadlineExceeded checks that MaxVirtualTime aborts before
+// dispatching the first event beyond the bound and that the clock stays
+// at the last executed event — never at the bound itself and never at
+// the aborted event's instant.
+func TestBudgetDeadlineExceeded(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{MaxVirtualTime: at(500)})
+	var fired []Time
+	for _, ms := range []int{100, 200, 600, 700} {
+		e.ScheduleAt(at(ms), func(now Time) { fired = append(fired, now) })
+	}
+	final := e.Run()
+	if got := e.Termination(); got != DeadlineExceeded {
+		t.Fatalf("Termination = %v, want DeadlineExceeded", got)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (those within budget)", len(fired))
+	}
+	if final != at(200) {
+		t.Errorf("clock advanced to %v after abort, want %v (last executed event)", final, at(200))
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d after abort, want 2 (aborted events stay queued)", e.Pending())
+	}
+}
+
+// TestBudgetEventBudgetExceeded checks the dispatch-count bound.
+func TestBudgetEventBudgetExceeded(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{MaxEvents: 3})
+	for i := 1; i <= 10; i++ {
+		e.ScheduleAt(at(i*10), func(Time) {})
+	}
+	e.Run()
+	if got := e.Termination(); got != EventBudgetExceeded {
+		t.Fatalf("Termination = %v, want EventBudgetExceeded", got)
+	}
+	if e.Executed() != 3 {
+		t.Errorf("Executed = %d, want exactly the budget of 3", e.Executed())
+	}
+}
+
+// TestBudgetPendingBudgetExceeded checks that a scheduling explosion —
+// every event scheduling two more — trips the live-event bound instead
+// of growing without limit.
+func TestBudgetPendingBudgetExceeded(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{MaxPending: 64})
+	var boom func(now Time)
+	boom = func(now Time) {
+		e.Schedule(time.Millisecond, boom)
+		e.Schedule(2*time.Millisecond, boom)
+	}
+	e.Schedule(time.Millisecond, boom)
+	e.Run()
+	if got := e.Termination(); got != PendingBudgetExceeded {
+		t.Fatalf("Termination = %v, want PendingBudgetExceeded", got)
+	}
+	if e.Pending() <= 64 {
+		t.Errorf("Pending = %d at abort, want > budget of 64", e.Pending())
+	}
+}
+
+// TestBudgetStalled checks the progress watchdog: a handler that keeps
+// rescheduling itself at the current instant never advances the clock
+// and must be flagged as a livelock.
+func TestBudgetStalled(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{StallEvents: 100})
+	var spin func(now Time)
+	spin = func(now Time) { e.ScheduleAt(now, spin) }
+	e.ScheduleAt(at(10), spin)
+	final := e.Run()
+	if got := e.Termination(); got != Stalled {
+		t.Fatalf("Termination = %v, want Stalled", got)
+	}
+	if final != at(10) {
+		t.Errorf("clock = %v, want %v (stalled instant)", final, at(10))
+	}
+	if snap := e.Snapshot(); snap.SameInstantRun < 100 {
+		t.Errorf("SameInstantRun = %d, want >= 100", snap.SameInstantRun)
+	}
+}
+
+// TestBudgetStallWatchdogTolerantOfBursts checks that a finite burst of
+// same-instant events below the threshold does not trip the watchdog
+// once the clock moves on.
+func TestBudgetStallWatchdogTolerantOfBursts(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{StallEvents: 50})
+	for burst := 0; burst < 20; burst++ {
+		for i := 0; i < 40; i++ { // 40 < 50 per instant
+			e.ScheduleAt(at(burst*10+10), func(Time) {})
+		}
+	}
+	e.Run()
+	if got := e.Termination(); got != Completed {
+		t.Fatalf("Termination = %v, want Completed for sub-threshold bursts", got)
+	}
+}
+
+// TestRunUntilBudgetAbortClockRegression pins the PR 1 bug class for
+// budget aborts: RunUntil must not advance the clock to its deadline
+// when a budget stopped the run first — a later resume could otherwise
+// schedule "before" events that logically already happened.
+func TestRunUntilBudgetAbortClockRegression(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{MaxEvents: 1})
+	e.ScheduleAt(at(100), func(Time) {})
+	e.ScheduleAt(at(200), func(Time) {})
+	final := e.RunUntil(at(1000))
+	if got := e.Termination(); got != EventBudgetExceeded {
+		t.Fatalf("Termination = %v, want EventBudgetExceeded", got)
+	}
+	if final != at(100) {
+		t.Fatalf("RunUntil advanced clock to %v after budget abort, want %v", final, at(100))
+	}
+	if e.Now() != at(100) {
+		t.Fatalf("Now = %v, want %v", e.Now(), at(100))
+	}
+}
+
+// TestZeroBudgetIsInert checks that installing the zero Budget changes
+// nothing: same events, same final clock, Completed status.
+func TestZeroBudgetIsInert(t *testing.T) {
+	run := func(install bool) (uint64, Time) {
+		e := NewEngine()
+		if install {
+			e.SetBudget(Budget{})
+		}
+		var tick func(now Time)
+		n := 0
+		tick = func(now Time) {
+			n++
+			if n < 100 {
+				e.Schedule(time.Millisecond, tick)
+			}
+		}
+		e.Schedule(time.Millisecond, tick)
+		final := e.Run()
+		if e.Termination() != Completed {
+			t.Fatalf("Termination = %v, want Completed", e.Termination())
+		}
+		return e.Executed(), final
+	}
+	n1, t1 := run(false)
+	n2, t2 := run(true)
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("zero budget perturbed the run: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}
+
+// TestPastSchedulePanicIsTyped checks the scheduling-in-the-past panic
+// carries its time context as a recoverable typed error, so harnesses
+// can attribute it.
+func TestPastSchedulePanicIsTyped(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(at(100), func(now Time) {
+		defer func() {
+			r := recover()
+			pe, ok := r.(*PastScheduleError)
+			if !ok {
+				t.Fatalf("panic value %T, want *PastScheduleError", r)
+			}
+			if pe.At != at(50) || pe.Now != at(100) {
+				t.Fatalf("PastScheduleError = %+v, want At=%v Now=%v", pe, at(50), at(100))
+			}
+		}()
+		e.ScheduleAt(at(50), func(Time) {})
+	})
+	e.Run()
+}

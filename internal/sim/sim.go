@@ -24,7 +24,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/bits"
 	"sort"
 	"time"
@@ -131,6 +130,17 @@ type Engine struct {
 	// and run-away detection in tests.
 	executed uint64
 
+	// budget holds the optional guardrails (see Budget); budgetOn caches
+	// whether any bound is armed so the disabled case costs one branch
+	// per Step. status records how an armed budget ended the run.
+	budget   Budget
+	budgetOn bool
+	status   TerminationStatus
+	// stallRun counts consecutive dispatched events that did not advance
+	// the clock — the progress watchdog's counter. Maintained only while
+	// a budget is armed.
+	stallRun uint64
+
 	// cur is the wheel cursor tick. Invariant between operations: every
 	// event in the wheel levels has tick > cur (events at tick <= cur
 	// live in the due list), and every event in overflow has
@@ -235,7 +245,7 @@ func (t Timer) At() (Time, bool) {
 // causality, which is always a bug in the protocol layers above.
 func (e *Engine) alloc(at Time) *scheduledEvent {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", at, e.now))
+		panic(&PastScheduleError{At: at, Now: e.now})
 	}
 	var ev *scheduledEvent
 	if n := len(e.free); n > 0 {
@@ -529,13 +539,25 @@ func (e *Engine) Cancel(t Timer) {
 }
 
 // Step executes the next pending event, advancing the clock to its
-// instant. It returns false when the queue is exhausted or the engine
-// has been stopped.
+// instant. It returns false when the queue is exhausted, the engine has
+// been stopped, or an armed Budget aborts the run (see Termination) —
+// in the budget case the offending event stays queued and the clock
+// does not move.
 func (e *Engine) Step() bool {
 	if e.stopped || !e.ensureDue() {
 		return false
 	}
 	ev := e.due.head
+	if e.budgetOn {
+		if !e.admit(ev) {
+			return false
+		}
+		if ev.at == e.now && e.executed > 0 {
+			e.stallRun++
+		} else {
+			e.stallRun = 0
+		}
+	}
 	e.unlink(ev)
 	e.live--
 	e.now = ev.at

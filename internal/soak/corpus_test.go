@@ -1,0 +1,131 @@
+package soak
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/experiment"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+func TestCorpusEntryRoundTrip(t *testing.T) {
+	e := &Entry{
+		Trace:    "WRN950919",
+		Protocol: experiment.CESRM,
+		Scale:    0.01,
+		Seed:     42,
+		Class:    "invariant:crash-silence",
+		Note:     []string{"first line", "second line"},
+		Spec: &chaos.Spec{Name: "custom", Faults: []chaos.Fault{
+			{Kind: chaos.Crash, At: 4 * time.Second, Host: 5, Purge: true,
+				Link: topology.LinkID(topology.None)},
+			{Kind: chaos.Duplicate, At: 6 * time.Second, Until: 9 * time.Second,
+				Prob: 0.125, Delay: 2 * time.Millisecond,
+				Host: topology.None, Link: topology.LinkID(topology.None)},
+		}},
+	}
+	again, err := ParseEntry(e.Marshal())
+	if err != nil {
+		t.Fatalf("parsing %q: %v", e.Marshal(), err)
+	}
+	// Spec names are not persisted; compare faults and scalar fields.
+	if !reflect.DeepEqual(e.Spec.Faults, again.Spec.Faults) {
+		t.Fatalf("faults diverged:\n  %+v\n  %+v", e.Spec.Faults, again.Spec.Faults)
+	}
+	e.Spec, again.Spec = nil, nil
+	if !reflect.DeepEqual(e, again) {
+		t.Fatalf("entries diverged:\n  %+v\n  %+v", e, again)
+	}
+}
+
+func TestParseEntryRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"", "missing trace"},
+		{"trace = X\nspec = crash@1s:host=4\n", "missing protocol"},
+		{"trace = X\nprotocol = CESRM\n", "missing spec"},
+		{"trace = X\nprotocol = WARP\nspec = crash@1s:host=4\n", "unknown protocol"},
+		{"trace = X\nprotocol = CESRM\nscale = 3\nspec = crash@1s:host=4\n", "out of (0, 1]"},
+		{"trace = X\ntrace = Y\nprotocol = CESRM\nspec = crash@1s:host=4\n", "duplicate key"},
+		{"garbage\n", "no '='"},
+		{"frob = 1\n", "unknown key"},
+		{"trace = X\nprotocol = CESRM\nspec = crash@1s:host=-4\n", "negative host"},
+	}
+	for _, c := range cases {
+		_, err := ParseEntry([]byte(c.text))
+		if err == nil {
+			t.Errorf("ParseEntry(%q) accepted", c.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseEntry(%q) error %q, want substring %q", c.text, err, c.want)
+		}
+	}
+}
+
+// repoCorpusDir is the committed corpus, relative to this package.
+const repoCorpusDir = "../../testdata/soak-corpus"
+
+// TestCommittedCorpusReplays is the acceptance test for the replayable
+// corpus: every committed entry must terminate with a structured
+// TerminationStatus — never a panic, never a hang past the guardrails —
+// and no entry may exhibit a fatal failure (invariant violation,
+// panic, quiesce timeout) on the current tree. In particular the PR 4
+// clock-overflow scenario, which once looped the virtual clock to
+// int64 overflow, now replays to clean completion.
+func TestCommittedCorpusReplays(t *testing.T) {
+	r := NewRunner(DefaultBudget())
+	outcomes, err := r.ReplayDir(repoCorpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverflowEntry := false
+	for _, o := range outcomes {
+		name := filepath.Base(o.Path)
+		if o.Failure != nil && o.Failure.Fatal() {
+			t.Errorf("%s: fatal failure %s: %s", name, o.Failure.Class, o.Failure.Detail)
+			continue
+		}
+		if o.Result == nil {
+			t.Errorf("%s: replay produced no result", name)
+			continue
+		}
+		if o.Fingerprint == "" {
+			t.Errorf("%s: replay has no fingerprint", name)
+		}
+		if name == "pr4-clock-overflow.spec" {
+			sawOverflowEntry = true
+			if o.Status != sim.Completed {
+				t.Errorf("%s: status %v, want Completed (the PR 4 fix)", name, o.Status)
+			}
+		}
+	}
+	if !sawOverflowEntry {
+		t.Error("committed corpus lacks the seeded pr4-clock-overflow.spec entry")
+	}
+}
+
+// TestReplayIsDeterministic replays one committed entry twice and
+// requires identical fingerprints — corpus entries double as
+// regression fingerprint pins.
+func TestReplayIsDeterministic(t *testing.T) {
+	r := NewRunner(DefaultBudget())
+	a, err := r.Replay(filepath.Join(repoCorpusDir, "pr4-clock-overflow.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Replay(filepath.Join(repoCorpusDir, "pr4-clock-overflow.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("replay fingerprints diverged: %q vs %q", a.Fingerprint, b.Fingerprint)
+	}
+}

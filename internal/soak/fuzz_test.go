@@ -1,0 +1,62 @@
+package soak
+
+import (
+	"reflect"
+	"testing"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/experiment"
+)
+
+// FuzzParseSpec checks the chaos grammar's round-trip property: for
+// any input the parser accepts, rendering the spec back to text and
+// reparsing must reproduce the identical fault list (the parser is a
+// left inverse of String). The seed corpus feeds the soak generator's
+// own emissions through the parser, so the fuzzer starts from the
+// exact dialect the harness writes into corpus files, plus handwritten
+// edge cases around the hardened rejections.
+func FuzzParseSpec(f *testing.F) {
+	g, err := NewGenerator(1, []int{4}, []experiment.Protocol{experiment.CESRM}, 0.01)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		trial, err := g.Next()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(trial.Spec.String())
+	}
+	for _, s := range []string{
+		"crash@40s:host=3,purge;restart@1m10s:host=3",
+		"link-down@10s-20s:link=5;link-up@35s:link=5",
+		"jitter@45s-50s:max=5ms;dup@1m20s-1m30s:prob=0.01,delay=2ms",
+		"starve@1m40s-1m45s;starve@1m50s-1m55s:host=4",
+		"jitter@1s-2s", "dup@1s-2s", "crash@1s", "link-down@1s-2s",
+		"crash@0s:host=0", "dup@1s-2s:prob=1", "crash@1s:host=1;;crash@2s:host=2",
+		"crash@9000h:host=1", "crash@1s:host=1,host=2", "jitter@5s--10s:max=1ms",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := chaos.ParseSpec(text)
+		if err != nil {
+			return
+		}
+		rendered := s.String()
+		again, err := chaos.ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but its rendering %q does not reparse: %v", text, rendered, err)
+		}
+		if !reflect.DeepEqual(s.Faults, again.Faults) {
+			t.Fatalf("round trip of %q diverged:\n  first:  %+v\n  second: %+v",
+				text, s.Faults, again.Faults)
+		}
+		// Rendering must be a fixed point: String of the reparse is the
+		// canonical form already.
+		if again.String() != rendered {
+			t.Fatalf("rendering of %q not canonical: %q reparses to %q",
+				text, rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package soak
+
+import (
+	"fmt"
+	"time"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/experiment"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// loader caches generated traces by (catalog index, scale): the soak
+// loop revisits the same few traces hundreds of times and trace
+// generation (Gilbert-chain calibration) dominates small-scale runs.
+type loader struct {
+	cache map[loaderKey]*trace.Trace
+}
+
+type loaderKey struct {
+	index int
+	scale float64
+}
+
+func newLoader() *loader {
+	return &loader{cache: make(map[loaderKey]*trace.Trace)}
+}
+
+func (l *loader) load(index int, scale float64) (*trace.Trace, error) {
+	key := loaderKey{index, scale}
+	if tr, ok := l.cache[key]; ok {
+		return tr, nil
+	}
+	if index < 1 || index > len(trace.Catalog) {
+		return nil, fmt.Errorf("soak: trace index %d out of [1, %d]", index, len(trace.Catalog))
+	}
+	tr, err := trace.Catalog[index-1].Load(scale)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	l.cache[key] = tr
+	return tr, nil
+}
+
+// Horizon is a run's warmup-plus-data-phase duration — the window the
+// generator places faults inside (matching the chaos.Scenarios
+// convention used by cesrm-bench -chaos-matrix).
+func Horizon(tr *trace.Trace) time.Duration {
+	return 3*srm.DefaultParams().SessionPeriod + time.Duration(tr.NumPackets())*tr.Period
+}
+
+// Generator emits an endless deterministic stream of random trials:
+// same constructor arguments, same trials, forever. All randomness
+// flows from one sim.RNG, so the stream is reproducible across
+// platforms.
+type Generator struct {
+	rng       *sim.RNG
+	traces    []int
+	protocols []experiment.Protocol
+	scale     float64
+	loader    *loader
+	n         int
+}
+
+// NewGenerator validates the candidate sets and returns a generator.
+func NewGenerator(seed int64, traces []int, protocols []experiment.Protocol, scale float64) (*Generator, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("soak: no candidate traces")
+	}
+	if len(protocols) == 0 {
+		return nil, fmt.Errorf("soak: no candidate protocols")
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("soak: scale %v out of (0, 1]", scale)
+	}
+	return &Generator{
+		rng:       sim.NewRNG(seed),
+		traces:    append([]int(nil), traces...),
+		protocols: append([]experiment.Protocol(nil), protocols...),
+		scale:     scale,
+		loader:    newLoader(),
+	}, nil
+}
+
+// Next emits the next random trial. The generated spec always
+// validates against the trial's topology.
+func (g *Generator) Next() (Trial, error) {
+	index := g.traces[g.rng.Intn(len(g.traces))]
+	tr, err := g.loader.load(index, g.scale)
+	if err != nil {
+		return Trial{}, err
+	}
+	t := Trial{
+		TraceIndex: index,
+		Protocol:   g.protocols[g.rng.Intn(len(g.protocols))],
+		Scale:      g.scale,
+		Seed:       g.rng.Int63(),
+		Spec:       g.spec(tr),
+	}
+	g.n++
+	return t, nil
+}
+
+// instant draws a random offset in [lo%, hi%) of the horizon.
+func (g *Generator) instant(horizon time.Duration, loPct, hiPct int64) time.Duration {
+	return g.rng.UniformDuration(horizon*time.Duration(loPct)/100, horizon*time.Duration(hiPct)/100)
+}
+
+// spec composes a random, always-valid chaos schedule for the trace:
+// up to two crash(/restart) sequences on distinct receivers, up to two
+// auto-restoring link flaps, and at most one jitter ramp, one duplicate
+// storm and one starvation window (the per-kind windows must not
+// overlap, so one each sidesteps rejection-and-retry loops). Fields the
+// parser leaves at their defaults (Host, Link) are set to the same
+// defaults here, keeping generated specs on the ParseSpec/String
+// round-trip path the fuzzer exercises.
+func (g *Generator) spec(tr *trace.Trace) *chaos.Spec {
+	tree := tr.Tree
+	recs := tree.Receivers()
+	horizon := Horizon(tr)
+	noLink := topology.LinkID(topology.None)
+	for {
+		var faults []chaos.Fault
+		perm := g.rng.Perm(len(recs))
+		next := 0
+		for i, n := 0, g.rng.Intn(3); i < n && next < len(perm); i++ {
+			h := recs[perm[next]]
+			next++
+			at := g.instant(horizon, 5, 60)
+			crash := chaos.Fault{Kind: chaos.Crash, At: at, Host: h, Link: noLink}
+			if g.rng.Float64() < 0.25 {
+				crash.Purge = true
+			}
+			faults = append(faults, crash)
+			if g.rng.Float64() < 0.5 {
+				faults = append(faults, chaos.Fault{
+					Kind: chaos.Restart, At: at + g.instant(horizon, 5, 25),
+					Host: h, Link: noLink,
+				})
+			}
+		}
+		for i, n := 0, g.rng.Intn(3); i < n; i++ {
+			at := g.instant(horizon, 5, 60)
+			faults = append(faults, chaos.Fault{
+				Kind: chaos.LinkDown, At: at, Until: at + g.instant(horizon, 2, 10),
+				Host: topology.None, Link: topology.LinkID(recs[g.rng.Intn(len(recs))]),
+			})
+		}
+		if g.rng.Float64() < 0.4 {
+			at := g.instant(horizon, 10, 60)
+			faults = append(faults, chaos.Fault{
+				Kind: chaos.Jitter, At: at, Until: at + g.instant(horizon, 5, 20),
+				Max:  g.rng.UniformDuration(time.Millisecond, 8*time.Millisecond),
+				Host: topology.None, Link: noLink,
+			})
+		}
+		if g.rng.Float64() < 0.4 {
+			at := g.instant(horizon, 5, 50)
+			faults = append(faults, chaos.Fault{
+				Kind: chaos.Duplicate, At: at, Until: at + g.instant(horizon, 10, 40),
+				Prob:  0.01 + 0.2*g.rng.Float64(),
+				Delay: g.rng.UniformDuration(500*time.Microsecond, 4*time.Millisecond),
+				Host:  topology.None, Link: noLink,
+			})
+		}
+		if g.rng.Float64() < 0.4 {
+			at := g.instant(horizon, 10, 60)
+			starve := chaos.Fault{
+				Kind: chaos.Starve, At: at, Until: at + g.instant(horizon, 5, 25),
+				Host: topology.None, Link: noLink,
+			}
+			if g.rng.Float64() < 0.3 {
+				starve.Host = recs[g.rng.Intn(len(recs))]
+			}
+			faults = append(faults, starve)
+		}
+		if len(faults) == 0 {
+			continue
+		}
+		s := &chaos.Spec{Name: fmt.Sprintf("soak-%d", g.n), Faults: faults}
+		if s.Validate(tree) == nil {
+			return s
+		}
+	}
+}

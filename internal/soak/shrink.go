@@ -1,0 +1,118 @@
+package soak
+
+import (
+	"time"
+
+	"cesrm/internal/chaos"
+)
+
+// Minimize delta-debugs a failing trial's chaos spec to a minimal
+// schedule that still fails with the same class: first ddmin over the
+// fault list (Zeller & Hildebrandt's complement-removal loop), then a
+// per-fault field simplification pass (drop purge flags, round instants
+// to whole seconds, halve long windows). Specs that no longer validate
+// against the topology count as non-reproducing without spending a
+// simulation run. maxRuns bounds the total simulation runs; the
+// returned count reports how many were spent. Minimization is
+// deterministic: same trial, same class, same minimal spec.
+func (r *Runner) Minimize(t Trial, class string, maxRuns int) (*chaos.Spec, int) {
+	tr, err := r.loader.load(t.TraceIndex, t.Scale)
+	if err != nil {
+		return t.Spec, 0
+	}
+	runs := 0
+	reproduces := func(faults []chaos.Fault) bool {
+		if runs >= maxRuns || len(faults) == 0 {
+			return false
+		}
+		s := &chaos.Spec{Name: t.Spec.Name, Faults: faults}
+		if s.Validate(tr.Tree) != nil {
+			return false
+		}
+		runs++
+		cand := t
+		cand.Spec = s
+		_, fail := r.runLoaded(tr, cand)
+		return fail != nil && fail.Class == class
+	}
+
+	faults := ddmin(t.Spec.Faults, reproduces)
+
+	// Field simplification: each accepted candidate replaces the fault
+	// in place, so later candidates shrink the already-simplified spec.
+	for i := 0; i < len(faults) && runs < maxRuns; i++ {
+		for _, cand := range simplifications(faults[i]) {
+			next := append([]chaos.Fault(nil), faults...)
+			next[i] = cand
+			if reproduces(next) {
+				faults = next
+			}
+		}
+	}
+	return &chaos.Spec{Name: t.Spec.Name + "-min", Faults: faults}, runs
+}
+
+// ddmin minimizes the fault list under the reproduces predicate by
+// repeatedly removing chunks: start with halves, and whenever no
+// chunk's complement reproduces, double the granularity until chunks
+// are single faults. The input list is known-reproducing (the trial
+// already failed), so the result is 1-minimal up to the run budget
+// enforced inside reproduces.
+func ddmin(faults []chaos.Fault, reproduces func([]chaos.Fault) bool) []chaos.Fault {
+	faults = append([]chaos.Fault(nil), faults...)
+	n := 2
+	for len(faults) >= 2 && n <= len(faults) {
+		chunk := (len(faults) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(faults); lo += chunk {
+			hi := lo + chunk
+			if hi > len(faults) {
+				hi = len(faults)
+			}
+			complement := append(append([]chaos.Fault(nil), faults[:lo]...), faults[hi:]...)
+			if reproduces(complement) {
+				faults = complement
+				n--
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(faults) {
+				break
+			}
+			n *= 2
+			if n > len(faults) {
+				n = len(faults)
+			}
+		}
+	}
+	return faults
+}
+
+// simplifications proposes simpler variants of one fault, most
+// aggressive first. Variants that break spec validity (an instant
+// rounding past its window end) are filtered by the caller's
+// Validate-before-run check.
+func simplifications(f chaos.Fault) []chaos.Fault {
+	var out []chaos.Fault
+	if f.Purge {
+		g := f
+		g.Purge = false
+		out = append(out, g)
+	}
+	if t := f.At.Truncate(time.Second); t != f.At && (f.Until == 0 || t < f.Until) {
+		g := f
+		g.At = t
+		out = append(out, g)
+	}
+	if f.Until != 0 && f.Until-f.At > 2*time.Second {
+		g := f
+		g.Until = f.At + (f.Until-f.At)/2
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package soak
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/experiment"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// TestDdminFindsMinimalSubset drives the ddmin core with a synthetic
+// predicate: the "failure" needs exactly the two marker faults, buried
+// among six irrelevant ones, and ddmin must isolate precisely that
+// pair, preserving order.
+func TestDdminFindsMinimalSubset(t *testing.T) {
+	mk := func(host int) chaos.Fault {
+		return chaos.Fault{Kind: chaos.Crash, At: time.Duration(host) * time.Second, Host: topology.NodeID(host)}
+	}
+	var faults []chaos.Fault
+	for h := 1; h <= 8; h++ {
+		faults = append(faults, mk(h))
+	}
+	calls := 0
+	reproduces := func(sub []chaos.Fault) bool {
+		calls++
+		has := map[topology.NodeID]bool{}
+		for _, f := range sub {
+			has[f.Host] = true
+		}
+		return has[3] && has[6]
+	}
+	got := ddmin(faults, reproduces)
+	if len(got) != 2 || got[0].Host != 3 || got[1].Host != 6 {
+		t.Fatalf("ddmin returned %+v, want hosts [3 6]", got)
+	}
+	if calls == 0 || calls > 100 {
+		t.Fatalf("ddmin spent %d predicate calls", calls)
+	}
+}
+
+// TestDdminKeepsIrreducibleList checks ddmin leaves a list alone when
+// every fault is load-bearing.
+func TestDdminKeepsIrreducibleList(t *testing.T) {
+	faults := []chaos.Fault{
+		{Kind: chaos.Crash, At: time.Second, Host: 1},
+		{Kind: chaos.Crash, At: 2 * time.Second, Host: 2},
+		{Kind: chaos.Crash, At: 3 * time.Second, Host: 3},
+	}
+	got := ddmin(faults, func(sub []chaos.Fault) bool { return len(sub) == 3 })
+	if len(got) != 3 {
+		t.Fatalf("ddmin shrank an irreducible list to %d faults", len(got))
+	}
+}
+
+// TestMinimizeEndToEnd shrinks a real failing trial: under a 2 s
+// virtual-time budget every non-empty valid spec fails with the same
+// budget class, so the minimizer must reach a single fault, respect
+// validity (never emit a restart without its crash), and stay within
+// its run budget — deterministically.
+func TestMinimizeEndToEnd(t *testing.T) {
+	g, err := NewGenerator(5, []int{4}, []experiment.Protocol{experiment.SRM}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.loader.load(4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Tree.Receivers()
+	trial := Trial{TraceIndex: 4, Protocol: experiment.SRM, Scale: 0.01, Seed: 2,
+		Spec: &chaos.Spec{Name: "multi", Faults: []chaos.Fault{
+			{Kind: chaos.Crash, At: 4 * time.Second, Host: recs[0], Purge: true},
+			{Kind: chaos.Restart, At: 9 * time.Second, Host: recs[0]},
+			{Kind: chaos.LinkDown, At: 3 * time.Second, Until: 6 * time.Second, Link: topology.LinkID(recs[1])},
+			{Kind: chaos.Starve, At: 5 * time.Second, Until: 8 * time.Second, Host: topology.None},
+		}}}
+	r := NewRunner(sim.Budget{MaxVirtualTime: sim.Time(2 * time.Second)})
+	_, fail := r.RunTrial(trial)
+	if fail == nil {
+		t.Fatal("trial did not fail under the 2s budget")
+	}
+	specA, runsA := r.Minimize(trial, fail.Class, 100)
+	specB, runsB := r.Minimize(trial, fail.Class, 100)
+	if specA.String() != specB.String() || runsA != runsB {
+		t.Fatalf("minimization nondeterministic: %q (%d runs) vs %q (%d runs)",
+			specA, runsA, specB, runsB)
+	}
+	if len(specA.Faults) != 1 {
+		t.Fatalf("minimized to %d faults (%q), want 1", len(specA.Faults), specA)
+	}
+	if err := specA.Validate(tr.Tree); err != nil {
+		t.Fatalf("minimized spec %q invalid: %v", specA, err)
+	}
+	if runsA > 100 {
+		t.Fatalf("minimizer overspent its run budget: %d", runsA)
+	}
+	// The shrunk spec still reproduces the class.
+	min := trial
+	min.Spec = specA
+	if _, f := r.RunTrial(min); f == nil || f.Class != fail.Class {
+		t.Fatalf("minimized spec does not reproduce %q: %+v", fail.Class, f)
+	}
+}

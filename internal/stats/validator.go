@@ -39,7 +39,7 @@ import (
 //     was dead or shared the loss — must still complete within the
 //     bound, the paper's §3.3 graceful-degradation claim.
 type Validator struct {
-	violations []string
+	violations []Violation
 
 	// packets is the per-(host, source, seq) audit state, a dense
 	// NodeID- and seq-indexed table like the Collector's (the validator
@@ -132,25 +132,67 @@ func (v *Validator) silence(host topology.NodeID, at sim.Time, what string) {
 		return
 	}
 	if c := v.crashedAt[host]; c >= 0 && at > c {
-		v.violate("host %d: %s at %v after crash at %v", host, what, at, c)
+		v.violate("crash-silence", "host %d: %s at %v after crash at %v", host, what, at, c)
 	}
 }
 
 var _ srm.Observer = (*Validator)(nil)
 
-func (v *Validator) violate(format string, args ...any) {
-	v.violations = append(v.violations, fmt.Sprintf(format, args...))
+// Violation is one recorded invariant breach.
+type Violation struct {
+	// Class is a stable, machine-usable label naming the invariant that
+	// broke ("crash-silence", "double-detect", ...). The soak harness
+	// buckets failures by class when minimizing chaos schedules, so two
+	// runs that break the same invariant compare equal even when the
+	// detail text (hosts, instants) differs.
+	Class string
+	// Detail is the human-readable description.
+	Detail string
 }
 
-// Violations returns all recorded invariant violations.
-func (v *Validator) Violations() []string { return v.violations }
+// String returns the detail text.
+func (x Violation) String() string { return x.Detail }
 
-// Err returns an error summarizing violations, or nil.
+// InvariantError is the typed error a run with invariant violations
+// surfaces. Callers that need structure (the soak harness attributing
+// and minimizing failures) unwrap it with errors.As; its message keeps
+// the historical one-line summary.
+type InvariantError struct {
+	// Violations holds every recorded breach, in observation order.
+	Violations []Violation
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("protocol invariant violations (%d): %s", len(e.Violations), e.Violations[0].Detail)
+}
+
+func (v *Validator) violate(class, format string, args ...any) {
+	v.violations = append(v.violations, Violation{Class: class, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Violations returns the detail text of all recorded invariant
+// violations.
+func (v *Validator) Violations() []string {
+	out := make([]string, len(v.violations))
+	for i, x := range v.violations {
+		out[i] = x.Detail
+	}
+	return out
+}
+
+// ViolationRecords returns all recorded violations with their class
+// labels.
+func (v *Validator) ViolationRecords() []Violation {
+	return append([]Violation(nil), v.violations...)
+}
+
+// Err returns an *InvariantError summarizing violations, or nil.
 func (v *Validator) Err() error {
 	if len(v.violations) == 0 {
 		return nil
 	}
-	return fmt.Errorf("protocol invariant violations (%d): %s", len(v.violations), v.violations[0])
+	return &InvariantError{Violations: v.ViolationRecords()}
 }
 
 func (v *Validator) clock(host topology.NodeID, at sim.Time) {
@@ -158,7 +200,7 @@ func (v *Validator) clock(host topology.NodeID, at sim.Time) {
 		v.lastEvent = append(v.lastEvent, -1)
 	}
 	if last := v.lastEvent[host]; last >= 0 && at.Before(last) {
-		v.violate("host %d: event at %v before previous event at %v", host, at, last)
+		v.violate("clock-regression", "host %d: event at %v before previous event at %v", host, at, last)
 	}
 	v.lastEvent[host] = at
 }
@@ -169,7 +211,7 @@ func (v *Validator) LossDetected(host, source topology.NodeID, seq int, at sim.T
 	v.silence(host, at, "loss detection")
 	p := v.packets.ensure(host, source, seq)
 	if p.det {
-		v.violate("host %d: loss (%d,%d) detected twice", host, source, seq)
+		v.violate("double-detect", "host %d: loss (%d,%d) detected twice", host, source, seq)
 	}
 	p.detAt = at
 	p.det = true
@@ -181,20 +223,20 @@ func (v *Validator) Recovered(host, source topology.NodeID, seq int, at sim.Time
 	v.silence(host, at, "recovery")
 	p := v.packets.ensure(host, source, seq)
 	if v.fallbackBound > 0 && p.expRequested && !info.Expedited && info.OwnRequests > v.fallbackBound {
-		v.violate("host %d: SRM fallback for expedited (%d,%d) took %d request rounds (bound %d)",
+		v.violate("expedited-fallback-bound", "host %d: SRM fallback for expedited (%d,%d) took %d request rounds (bound %d)",
 			host, source, seq, info.OwnRequests, v.fallbackBound)
 	}
 	if !p.det {
-		v.violate("host %d: recovery of (%d,%d) without detection", host, source, seq)
+		v.violate("recover-undetected", "host %d: recovery of (%d,%d) without detection", host, source, seq)
 	} else if at.Before(p.detAt) {
-		v.violate("host %d: recovery of (%d,%d) at %v before detection at %v", host, source, seq, at, p.detAt)
+		v.violate("recover-before-detect", "host %d: recovery of (%d,%d) at %v before detection at %v", host, source, seq, at, p.detAt)
 	}
 	if p.recovered {
-		v.violate("host %d: (%d,%d) recovered twice", host, source, seq)
+		v.violate("double-recover", "host %d: (%d,%d) recovered twice", host, source, seq)
 	}
 	p.recovered = true
 	if info.OwnRequests < 0 || info.Reschedules < 0 {
-		v.violate("host %d: negative recovery counters %+v", host, info)
+		v.violate("negative-counters", "host %d: negative recovery counters %+v", host, info)
 	}
 }
 
@@ -203,17 +245,17 @@ func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int
 	v.silence(host, v.clockNow(), "request")
 	p := v.packets.ensure(host, source, seq)
 	if p.recovered {
-		v.violate("host %d: request for already-recovered (%d,%d)", host, source, seq)
+		v.violate("request-after-recover", "host %d: request for already-recovered (%d,%d)", host, source, seq)
 	}
 	if !p.det {
-		v.violate("host %d: request for undetected (%d,%d)", host, source, seq)
+		v.violate("request-undetected", "host %d: request for undetected (%d,%d)", host, source, seq)
 	}
 	if p.hasRound {
 		if round <= p.lastRound {
-			v.violate("host %d: request round %d after round %d for (%d,%d)", host, round, p.lastRound, source, seq)
+			v.violate("request-round-order", "host %d: request round %d after round %d for (%d,%d)", host, round, p.lastRound, source, seq)
 		}
 	} else if round < 0 {
-		v.violate("host %d: negative request round %d", host, round)
+		v.violate("request-round-negative", "host %d: negative request round %d", host, round)
 	}
 	p.lastRound = round
 	p.hasRound = true
@@ -225,7 +267,7 @@ func (v *Validator) ExpRequestSent(host, source topology.NodeID, seq int) {
 	v.expReqs++
 	p := v.packets.ensure(host, source, seq)
 	if p.recovered {
-		v.violate("host %d: expedited request for already-recovered (%d,%d)", host, source, seq)
+		v.violate("exp-request-after-recover", "host %d: expedited request for already-recovered (%d,%d)", host, source, seq)
 	}
 	p.expRequested = true
 }
@@ -236,7 +278,7 @@ func (v *Validator) ReplySent(host, source topology.NodeID, seq int, expedited b
 	if expedited {
 		v.expReplies++
 		if v.expReplies > v.expReqs {
-			v.violate("expedited replies (%d) exceed expedited requests (%d)", v.expReplies, v.expReqs)
+			v.violate("exp-reply-excess", "expedited replies (%d) exceed expedited requests (%d)", v.expReplies, v.expReqs)
 		}
 	}
 }
