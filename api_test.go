@@ -43,7 +43,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// The determinism audit and the event timeline, via the facade.
-	res, err := cesrm.VerifyDeterminism(cesrm.RunConfig{Trace: tr, Protocol: cesrm.CESRM, Seed: 9}, 1)
+	res, err := cesrm.VerifyDeterminism(cesrm.RunConfig{Trace: tr, Protocol: cesrm.CESRM, Seed: 9, KeepEvents: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

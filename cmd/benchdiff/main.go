@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	benchdiff -committed BENCH_wheel.json -fresh bench-snapshot.json \
-//	          [-scale 0.01] [-max-regression-pct 25] [-ignore-fingerprints]
+//	benchdiff -committed BENCH_scale1_stream.json -fresh bench-snapshot.json \
+//	          [-scale 0.01] [-max-regression-pct 25] [-max-mem-regression-pct 25] \
+//	          [-ignore-fingerprints]
 //
-// Two gates:
+// Three gates:
 //
 //  1. Behavior: every trace present in both snapshots at the compared
 //     scale must carry identical SRM and CESRM fingerprints. A mismatch
@@ -19,6 +20,14 @@
 //     is machine-dependent, so the gate is deliberately loose; it
 //     catches order-of-magnitude scheduler regressions, not percent
 //     drift.
+//  3. Memory: the fresh peak live heap must not exceed the committed
+//     one by more than -max-mem-regression-pct percent. Peak heap is
+//     far more stable than wall time (allocation volume is
+//     deterministic; only GC timing jitters the watermark), so this
+//     gate reliably catches a reintroduced retained-state leak — the
+//     scale-1 suite once peaked over 4 GB before per-packet state was
+//     released mid-run. Skipped when either snapshot predates the
+//     peak_heap_bytes field.
 //
 // -scale selects which swept scale entry to compare; 0 (the default)
 // picks the smallest scale present in both files, which for CI is the
@@ -51,8 +60,9 @@ type diffRun struct {
 }
 
 type diffPerf struct {
-	ElapsedNS int64 `json:"suite_elapsed_ns"`
-	Parallel  int   `json:"parallel"`
+	ElapsedNS     int64  `json:"suite_elapsed_ns"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	Parallel      int    `json:"parallel"`
 }
 
 type diffItem struct {
@@ -111,7 +121,7 @@ func scales(s *snapshot) []float64 {
 }
 
 // diff compares the two run entries and returns the gate failures.
-func diff(committed, fresh *diffRun, maxRegressionPct float64, checkFingerprints bool) []string {
+func diff(committed, fresh *diffRun, maxRegressionPct, maxMemRegressionPct float64, checkFingerprints bool) []string {
 	var fails []string
 	if checkFingerprints {
 		byIndex := make(map[int]diffItem, len(committed.Traces))
@@ -155,6 +165,21 @@ func diff(committed, fresh *diffRun, maxRegressionPct float64, checkFingerprints
 			float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
 			pct, maxRegressionPct, verdict)
 	}
+	if committed.Perf.PeakHeapBytes > 0 && fresh.Perf.PeakHeapBytes > 0 {
+		pct := 100 * (float64(fresh.Perf.PeakHeapBytes) - float64(committed.Perf.PeakHeapBytes)) /
+			float64(committed.Perf.PeakHeapBytes)
+		verdict := "ok"
+		if pct > maxMemRegressionPct {
+			verdict = "FAIL"
+			fails = append(fails, fmt.Sprintf(
+				"peak heap regressed %.1f%% (%.1f MB -> %.1f MB), budget %.0f%%",
+				pct, float64(committed.Perf.PeakHeapBytes)/1e6, float64(fresh.Perf.PeakHeapBytes)/1e6,
+				maxMemRegressionPct))
+		}
+		fmt.Printf("peak heap: committed %.1f MB, fresh %.1f MB (%+.1f%%, budget +%.0f%%) %s\n",
+			float64(committed.Perf.PeakHeapBytes)/1e6, float64(fresh.Perf.PeakHeapBytes)/1e6,
+			pct, maxMemRegressionPct, verdict)
+	}
 	return fails
 }
 
@@ -171,7 +196,8 @@ func run(args []string) error {
 	freshPath := fs.String("fresh", "", "freshly generated cesrm-bench -json snapshot (required)")
 	scale := fs.Float64("scale", 0, "scale entry to compare (0 = smallest scale present in both)")
 	maxRegression := fs.Float64("max-regression-pct", 25, "max tolerated suite wall-time increase, percent")
-	ignoreFP := fs.Bool("ignore-fingerprints", false, "skip the fingerprint-equality gate (cross-revision perf comparisons)")
+	maxMemRegression := fs.Float64("max-mem-regression-pct", 25, "max tolerated peak-heap increase, percent")
+	ignoreFP := fs.Bool("ignore-fingerprints", false, "skip the fingerprint-equality and schema-version gates (cross-revision perf comparisons)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,8 +213,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if committed.Fingerprint != fresh.Fingerprint {
-		return fmt.Errorf("fingerprint schema %s (committed) != %s (fresh); snapshots are not comparable",
+	if committed.Fingerprint != fresh.Fingerprint && !*ignoreFP {
+		// Cross-version perf comparisons (e.g. v1-era wall times against a
+		// v2 run) are legitimate under -ignore-fingerprints: wall time and
+		// peak heap are schema-independent.
+		return fmt.Errorf("fingerprint schema %s (committed) != %s (fresh); snapshots are not comparable (use -ignore-fingerprints for perf-only comparison)",
 			committed.Fingerprint, fresh.Fingerprint)
 	}
 
@@ -224,7 +253,7 @@ func run(args []string) error {
 
 	fmt.Printf("benchdiff: scale=%v, %d committed traces vs %d fresh\n",
 		pickScale, len(cr.Traces), len(fr.Traces))
-	fails := diff(cr, fr, *maxRegression, !*ignoreFP)
+	fails := diff(cr, fr, *maxRegression, *maxMemRegression, !*ignoreFP)
 	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)

@@ -10,10 +10,12 @@
 //
 // At -scale 1 the full Table 1 packet volumes are simulated (hundreds of
 // thousands of packets per trace); smaller scales shrink volumes
-// proportionally while preserving loss rates and burst structure.
-// Repeating -scale (or passing a comma-separated list) sweeps the suite
-// over every given scale in order, so one invocation produces a scaling
-// curve instead of a single point.
+// proportionally while preserving loss rates and burst structure, and
+// scales above 1 extrapolate beyond the paper's volumes (e.g. -scale 5
+// replays five times the recorded transmission). Repeating -scale (or
+// passing a comma-separated list) sweeps the suite over every given
+// scale in order, so one invocation produces a scaling curve instead of
+// a single point.
 //
 // -traces selects by 1-based catalog index; -trace selects by name
 // (case-insensitive substring, repeatable). Both may be combined; the
@@ -38,9 +40,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/metrics"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -149,8 +153,8 @@ func (s *scaleFlag) Set(v string) error {
 		if err != nil {
 			return fmt.Errorf("bad scale %q: %w", f, err)
 		}
-		if x <= 0 || x > 1 {
-			return fmt.Errorf("scale %v outside (0, 1]", x)
+		if x <= 0 {
+			return fmt.Errorf("scale %v must be positive", x)
 		}
 		*s = append(*s, x)
 	}
@@ -223,13 +227,44 @@ func selectTraces(indexList string, names nameFlag) ([]int, error) {
 }
 
 // heapSampler tracks the live-heap high-water mark while a suite pass
-// runs. runtime.MemStats.HeapAlloc is sampled on a coarse ticker; the
-// stop-the-world cost of ReadMemStats is microseconds, negligible
-// against the sampling period.
+// runs. Two probes feed one monotonic atomic maximum: a coarse
+// wall-clock ticker, and the runner's per-monitor-tick HeapProbe
+// (experiment.RunConfig.HeapProbe), which fires on the run's own event
+// cadence. The ticker alone under-reported badly: a spike living
+// shorter than the 20 ms period — or landing while the sampler
+// goroutine was descheduled — was simply never seen, and the reported
+// "peak" was whatever the ticker happened to catch. The in-run probe
+// cannot miss the allocation profile of the simulation itself, because
+// it samples from inside it. Both read /memory/classes/heap/objects:bytes
+// via runtime/metrics, which needs no stop-the-world and is cheap
+// enough for event-cadence use. Probe is safe for concurrent use —
+// Suite runs traces in parallel.
 type heapSampler struct {
 	stop chan struct{}
 	done chan struct{}
-	peak uint64
+	peak atomic.Uint64
+}
+
+// readHeapBytes returns the bytes currently occupied by live + dead
+// heap objects (the runtime/metrics equivalent of MemStats.HeapAlloc).
+func readHeapBytes() uint64 {
+	s := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// Probe folds the current heap occupancy into the high-water mark.
+func (s *heapSampler) Probe() {
+	v := readHeapBytes()
+	for {
+		old := s.peak.Load()
+		if v <= old || s.peak.CompareAndSwap(old, v) {
+			return
+		}
+	}
 }
 
 func startHeapSampler(interval time.Duration) *heapSampler {
@@ -238,16 +273,12 @@ func startHeapSampler(interval time.Duration) *heapSampler {
 		defer close(s.done)
 		t := time.NewTicker(interval)
 		defer t.Stop()
-		var m runtime.MemStats
 		for {
 			select {
 			case <-s.stop:
 				return
 			case <-t.C:
-				runtime.ReadMemStats(&m)
-				if m.HeapAlloc > s.peak {
-					s.peak = m.HeapAlloc
-				}
+				s.Probe()
 			}
 		}
 	}()
@@ -259,12 +290,8 @@ func startHeapSampler(interval time.Duration) *heapSampler {
 func (s *heapSampler) Stop() uint64 {
 	close(s.stop)
 	<-s.done
-	var m runtime.MemStats
-	runtime.ReadMemStats(&m)
-	if m.HeapAlloc > s.peak {
-		s.peak = m.HeapAlloc
-	}
-	return s.peak
+	s.Probe()
+	return s.peak.Load()
 }
 
 // runChaosMatrix sweeps the deterministic fault-injection scenario
@@ -328,7 +355,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cesrm-bench", flag.ContinueOnError)
 	var scales scaleFlag
-	fs.Var(&scales, "scale", "trace volume scale in (0,1]; 1 = full Table 1 volumes; repeatable (or comma-separated) to sweep")
+	fs.Var(&scales, "scale", "trace volume scale (> 0); 1 = full Table 1 volumes, 5 = a 5x extrapolation; repeatable (or comma-separated) to sweep")
 	seed := fs.Int64("seed", 1, "base random seed")
 	traces := fs.String("traces", "", "comma-separated 1-based trace indices (default: all 14)")
 	var traceNames nameFlag
@@ -417,6 +444,7 @@ func run(args []string) error {
 			scale, *seed, *delay, *lossy, *policy, *routerAssist)
 
 		sampler := startHeapSampler(20 * time.Millisecond)
+		suite.Base.HeapProbe = sampler.Probe
 		var m0 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		started := time.Now()

@@ -166,8 +166,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-scale", "0"}); err == nil {
 		t.Fatal("zero scale accepted")
 	}
-	if err := run([]string{"-scale", "1.5"}); err == nil {
-		t.Fatal("scale beyond 1 accepted")
+	if err := run([]string{"-scale", "-0.5"}); err == nil {
+		t.Fatal("negative scale accepted")
 	}
 	if err := run([]string{"-scale", "0.005", "-trace", "nosuchtrace"}); err == nil {
 		t.Fatal("unmatched trace name filter accepted")

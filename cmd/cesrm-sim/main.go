@@ -48,7 +48,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cesrm-sim", flag.ContinueOnError)
 	name := fs.String("trace", "WRN951216", "catalog trace name")
 	file := fs.String("file", "", "trace file (overrides -trace)")
-	scale := fs.Float64("scale", 0.1, "catalog trace volume scale in (0,1]")
+	scale := fs.Float64("scale", 0.1, "catalog trace volume scale (> 0); 1 = full Table 1 volumes")
 	protoName := fs.String("protocol", "cesrm", "protocol: srm, cesrm or lms")
 	seed := fs.Int64("seed", 1, "random seed")
 	delay := fs.Duration("delay", 20*time.Millisecond, "per-link one-way delay")
@@ -124,6 +124,9 @@ func run(args []string) error {
 		CESRM:         core.Config{RouterAssist: *routerAssist},
 		LossyRecovery: *lossy,
 		Seed:          *seed,
+		// The event stream is materialized only when the timeline dump
+		// asked for it; every other invocation runs stream-only.
+		KeepEvents: *eventsFile != "",
 	}
 	if *chaosSpec != "" {
 		spec, err := chaos.ParseSpec(*chaosSpec)

@@ -95,7 +95,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-file", "/does/not/exist"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run([]string{"-scale", "7"}); err == nil {
+	if err := run([]string{"-scale", "-7"}); err == nil {
 		t.Fatal("bad scale accepted")
 	}
 }

@@ -137,6 +137,7 @@ func TestRandomizedFailStopSilence(t *testing.T) {
 			}}
 			res, err := Run(RunConfig{
 				Trace: tr, Protocol: v.proto, CESRM: v.cesrm, Seed: 77, Chaos: spec,
+				KeepEvents: true, // the assertions below scan the timeline
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -31,12 +31,12 @@ func crashyConfig(tb testing.TB, proto Protocol, seed int64) RunConfig {
 }
 
 func TestFingerprintFormat(t *testing.T) {
-	res, err := Run(RunConfig{Trace: smallTrace(t, 1), Protocol: SRM, Seed: 1})
+	res, err := Run(RunConfig{Trace: smallTrace(t, 1), Protocol: SRM, Seed: 1, KeepEvents: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := regexp.MatchString(`^v1:[0-9a-f]{32}$`, res.Fingerprint); !ok {
-		t.Fatalf("fingerprint %q does not match v1:<32 hex chars>", res.Fingerprint)
+	if ok, _ := regexp.MatchString(`^v2:[0-9a-f]{32}$`, res.Fingerprint); !ok {
+		t.Fatalf("fingerprint %q does not match v2:<32 hex chars>", res.Fingerprint)
 	}
 	if len(res.Events) == 0 {
 		t.Fatal("run captured no protocol events")

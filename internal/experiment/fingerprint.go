@@ -18,15 +18,27 @@ import (
 // bytes of a SHA-256 over the run's canonical digest input (see
 // computeFingerprint). Bump the version whenever the digest input
 // changes, so fingerprints from different formats never compare equal.
-const FingerprintVersion = 1
+//
+// v2 (streaming): identical to v1 except the event-stream length moved
+// from the front of section 1 to its end. v1's length-prefix forced the
+// runner to retain every event until the run finished just to count
+// them before hashing; v2 folds each event into the digest the moment
+// the Recorder observes it and appends the count afterwards, so the
+// stream is never materialized. The digested per-event bytes are
+// unchanged — only the count's position moved — which the v1↔v2
+// migration test (TestFingerprintV1V2Migration) pins by recomputing the
+// historical v1 digests from a retained run.
+const FingerprintVersion = 2
 
 // fpHasher accumulates the canonical digest. Every input is written
 // through fixed-width little-endian encodings, so the digest is a pure
 // function of the run's observable behavior — independent of platform,
-// process, and map iteration order.
+// process, and map iteration order. Section 1 streams: event folds one
+// event at a time, and finish seals the count plus sections 2-4.
 type fpHasher struct {
-	h   hash.Hash
-	buf [8]byte
+	h      hash.Hash
+	buf    [8]byte
+	events uint64
 }
 
 func newFPHasher() *fpHasher { return &fpHasher{h: sha256.New()} }
@@ -52,11 +64,32 @@ func (f *fpHasher) sum() string {
 	return fmt.Sprintf("v%d:%x", FingerprintVersion, f.h.Sum(nil)[:16])
 }
 
-// computeFingerprint digests a completed run into its determinism
-// fingerprint. The input covers, in a fixed canonical order:
+// event folds one protocol event into section 1 of the digest, in
+// dispatch order. The runner installs this as the Recorder's sink, so
+// the stream is digested as it happens and never needs retaining.
+func (f *fpHasher) event(ev stats.Event) {
+	f.events++
+	f.u64(uint64(ev.Kind))
+	f.i64(int64(ev.At))
+	f.node(ev.Host)
+	f.node(ev.Source)
+	f.i64(int64(ev.Seq))
+	f.i64(int64(ev.Round))
+	f.boolean(ev.Expedited)
+	f.i64(int64(ev.OwnRequests))
+	f.i64(int64(ev.Reschedules))
+	f.node(ev.Requestor)
+	f.node(ev.Replier)
+}
+
+// finish seals the digest of a run whose events were already folded via
+// event, appending the stream length (closing section 1) and sections
+// 2-4, and returns the fingerprint string. The full input covers, in a
+// fixed canonical order:
 //
 //  1. the ordered protocol-event stream (the engine's dispatch order —
-//     any scheduling nondeterminism shows up here first),
+//     any scheduling nondeterminism shows up here first), closed by its
+//     length,
 //  2. the link-crossing cost counters,
 //  3. the finish time,
 //  4. per-receiver recovery metrics, iterated in trace receiver order
@@ -66,26 +99,12 @@ func (f *fpHasher) sum() string {
 // Two runs of the same RunConfig must produce byte-identical
 // fingerprints; a divergence is a determinism regression in the engine,
 // the protocols, or the runner.
-func computeFingerprint(events []stats.Event, crossings netsim.CrossingCounts,
+func (f *fpHasher) finish(crossings netsim.CrossingCounts,
 	finished sim.Time, receivers []topology.NodeID, col *stats.Collector, rtt stats.RTTFunc) string {
 
-	f := newFPHasher()
-
-	// Section 1: ordered event stream.
-	f.u64(uint64(len(events)))
-	for _, ev := range events {
-		f.u64(uint64(ev.Kind))
-		f.i64(int64(ev.At))
-		f.node(ev.Host)
-		f.node(ev.Source)
-		f.i64(int64(ev.Seq))
-		f.i64(int64(ev.Round))
-		f.boolean(ev.Expedited)
-		f.i64(int64(ev.OwnRequests))
-		f.i64(int64(ev.Reschedules))
-		f.node(ev.Requestor)
-		f.node(ev.Replier)
-	}
+	// Close section 1 with the event count. v1 put this first, which
+	// forced full event retention; see FingerprintVersion.
+	f.u64(f.events)
 
 	// Section 2: link-crossing counters.
 	f.u64(crossings.Data)
@@ -121,6 +140,19 @@ func computeFingerprint(events []stats.Event, crossings netsim.CrossingCounts,
 	}
 
 	return f.sum()
+}
+
+// computeFingerprint digests a run from a retained event slice, for
+// callers and tests that hold the full stream; the runner itself
+// streams via fpHasher.event and finish.
+func computeFingerprint(events []stats.Event, crossings netsim.CrossingCounts,
+	finished sim.Time, receivers []topology.NodeID, col *stats.Collector, rtt stats.RTTFunc) string {
+
+	f := newFPHasher()
+	for _, ev := range events {
+		f.event(ev)
+	}
+	return f.finish(crossings, finished, receivers, col, rtt)
 }
 
 // VerifyDeterminism runs cfg once, then reruns it extra more times and

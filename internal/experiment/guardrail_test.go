@@ -74,11 +74,7 @@ func TestBudgetAbortIsDeterministic(t *testing.T) {
 // trip.
 func TestZeroBudgetLeavesGoldensUntouched(t *testing.T) {
 	tr := smallTrace(t, 99)
-	want := map[Protocol]string{
-		SRM:   "v1:6b106a9023156b50a7f8f7e901c18d83",
-		CESRM: "v1:22d0cfe77977f428f0d688a0724d2986",
-		LMS:   "v1:a3df4258a922f846f7133ee92a9f1ea5",
-	}
+	want := goldenFingerprints
 	generous := sim.Budget{
 		MaxVirtualTime: sim.Time(24 * time.Hour),
 		MaxEvents:      1 << 40,

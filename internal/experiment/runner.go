@@ -116,6 +116,28 @@ type RunConfig struct {
 	// overflowing or hanging. The zero value disables every guardrail
 	// and leaves run fingerprints byte-identical to budget-free builds.
 	Budget sim.Budget
+	// KeepEvents retains the ordered protocol-event stream in
+	// RunResult.Events. The v2 fingerprint digests events as they happen,
+	// so retention is opt-in: timeline dumps (-events) and
+	// event-inspecting tests set it; everything else runs with Events nil
+	// and memory independent of the event count.
+	KeepEvents bool
+	// ReleaseRecovered enables mid-run release of fully-recovered
+	// per-packet state: once every live host holds every packet below a
+	// watermark — and a drain lag has covered in-flight traffic — the
+	// protocol agents, the collector and the validator discard that
+	// prefix, folding recovery-latency metrics into online accumulators.
+	// Release performs no engine operations, so fingerprints are
+	// byte-identical with it on or off. Retained-record APIs
+	// (Collector.Recoveries) are empty for such runs. Forced off when
+	// Chaos is set: a restarted host re-detects and re-recovers
+	// everything, so no prefix is ever globally dead.
+	ReleaseRecovered bool
+	// HeapProbe, when non-nil, is invoked on every monitor tick (once
+	// per session period of virtual time); cesrm-bench installs a heap
+	// high-watermark sampler so peak-memory reporting cannot miss spikes
+	// between wall-clock samples.
+	HeapProbe func()
 	// Seed drives all protocol randomness (timer draws, session
 	// offsets, lossy-recovery drops).
 	Seed int64
@@ -147,14 +169,15 @@ type RunResult struct {
 	// recovered and the run quiesced.
 	FinishedAt sim.Time
 	// Fingerprint is the run's canonical determinism digest
-	// ("v1:<32 hex chars>"): a hash over the ordered protocol-event
+	// ("v2:<32 hex chars>"): a hash over the ordered protocol-event
 	// stream, the link-crossing counters, the finish time and the
 	// per-receiver recovery metrics. Two runs of the same RunConfig must
 	// produce identical fingerprints; see VerifyDeterminism.
 	Fingerprint string
 	// Events is the ordered protocol-event stream the fingerprint
 	// digests, usable as a debugging timeline
-	// (stats.WriteEventsNDJSON).
+	// (stats.WriteEventsNDJSON). Nil unless RunConfig.KeepEvents was
+	// set.
 	Events []stats.Event
 	// SpuriousExpedited counts expedited requests sent for packets the
 	// trace never lost — reordering mirages (only nonzero with Jitter
@@ -235,13 +258,15 @@ type agent interface {
 	Transmit(seq int)
 }
 
-// inspector exposes the completion-checking surface every protocol
-// endpoint shares.
+// inspector exposes the completion-checking and state-release surface
+// every protocol endpoint shares.
 type inspector interface {
 	ClassifiedThrough(source topology.NodeID) int
 	Outstanding() int
 	MissingIn(source topology.NodeID, n int) int
 	Crashed() bool
+	ReleasableThrough(source topology.NodeID) int
+	ReleaseThrough(source topology.NodeID, n int)
 }
 
 // crasher is the fail-stop surface every protocol endpoint shares.
@@ -301,6 +326,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	eng := sim.NewEngine()
 	eng.SetBudget(cfg.Budget)
 	net := netsim.New(eng, tree, cfg.Net)
+	rtt := func(h topology.NodeID) time.Duration {
+		return net.RTT(h, source)
+	}
 	rootRNG := sim.NewRNG(cfg.Seed)
 	dropRNG := rootRNG.Split()
 	if cfg.Jitter > 0 {
@@ -352,10 +380,25 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// metrics collector.
 	collector := stats.New()
 	collector.Reserve(tree.NumNodes())
+	// Release is gated on a fault-free configuration: under Chaos a
+	// restarted host legitimately re-detects and re-recovers everything,
+	// so no prefix of the stream is ever globally dead. Permanent Crashes
+	// are fine — crashed hosts never rejoin and are skipped by the
+	// watermark.
+	releaseOn := cfg.ReleaseRecovered && cfg.Chaos == nil
+	if releaseOn {
+		collector.StreamAggregates(rtt)
+	}
 	validator := stats.NewValidator()
 	validator.Reserve(tree.NumNodes())
 	validator.SetClock(eng.Now)
 	recorder := stats.NewRecorder(eng.Now)
+	// The v2 fingerprint folds each event into the digest as it is
+	// observed; retention exists only for callers that asked for the
+	// timeline.
+	fp := newFPHasher()
+	recorder.SetSink(fp.event)
+	recorder.SetKeep(cfg.KeepEvents)
 	observer := stats.Tee{collector, validator, recorder}
 	hosts := append([]topology.NodeID{source}, tree.Receivers()...)
 	if agentOrder != nil {
@@ -484,9 +527,46 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 		return true
 	}
+	// The watermark release runs on the monitor cadence with a two-tick
+	// lag: a watermark observed safe at tick t is released at tick t+2,
+	// by which point every message and timer that was in flight for that
+	// prefix at tick t — request, reply timer, reply, abstinence — has
+	// long drained (the chain is bounded by a few link delays, far below
+	// two session periods). Release touches no engine state, so the
+	// event stream, finish time and fingerprint are identical with it on
+	// or off.
+	release := func(n int) {
+		for _, id := range hosts {
+			if !inspectors[id].Crashed() {
+				inspectors[id].ReleaseThrough(source, n)
+			}
+		}
+		collector.ReleasePacketsThrough(source, n)
+		validator.ReleaseThrough(source, n)
+	}
+	var relReady, relNext, released int
 	var monitor func(now sim.Time)
 	timedOut := false
 	monitor = func(now sim.Time) {
+		if cfg.HeapProbe != nil {
+			cfg.HeapProbe()
+		}
+		if releaseOn {
+			if relReady > released {
+				release(relReady)
+				released = relReady
+			}
+			w := numPackets
+			for _, id := range hosts {
+				if inspectors[id].Crashed() {
+					continue
+				}
+				if r := inspectors[id].ReleasableThrough(source); r < w {
+					w = r
+				}
+			}
+			relReady, relNext = relNext, w
+		}
 		if complete() {
 			for _, id := range hosts {
 				agents[id].Stop()
@@ -506,9 +586,6 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	eng.Schedule(cfg.SRM.SessionPeriod, monitor)
 
 	finished := eng.Run()
-	rtt := func(h topology.NodeID) time.Duration {
-		return net.RTT(h, source)
-	}
 	receivers := tree.Receivers()
 	if status := eng.Termination(); status != sim.Completed {
 		// Graceful degradation: a guardrail aborted the run. Skip the
@@ -536,13 +613,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			InferredRates:         rates,
 			InferenceConfidence95: inferred.Confidence(0.95),
 			FinishedAt:            snap.Now,
-			Fingerprint: computeFingerprint(recorder.Events(), net.Counts(),
-				snap.Now, receivers, collector, rtt),
-			Events:    recorder.Events(),
-			RTT:       rtt,
-			Receivers: receivers,
-			Status:    status,
-			Diag:      diag,
+			Fingerprint:           fp.finish(net.Counts(), snap.Now, receivers, collector, rtt),
+			Events:                recorder.Events(),
+			RTT:                   rtt,
+			Receivers:             receivers,
+			Status:                status,
+			Diag:                  diag,
 		}, nil
 	}
 	if timedOut {
@@ -593,10 +669,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		InferredRates:         rates,
 		InferenceConfidence95: inferred.Confidence(0.95),
 		FinishedAt:            finished,
-		Fingerprint: computeFingerprint(recorder.Events(), net.Counts(),
-			finished, receivers, collector, rtt),
-		Events:    recorder.Events(),
-		RTT:       rtt,
-		Receivers: receivers,
+		Fingerprint:           fp.finish(net.Counts(), finished, receivers, collector, rtt),
+		Events:                recorder.Events(),
+		RTT:                   rtt,
+		Receivers:             receivers,
 	}, nil
 }

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fingerprintV1 recomputes the retired v1 digest from a retained run.
+// v1 led section 1 with the event-stream length; everything after it —
+// the per-event bytes and sections 2-4 — is byte-identical to v2. The
+// layout is deliberately spelled out rather than shared with
+// fpHasher.finish: this function documents the frozen historical format
+// the migration test pins.
+func fingerprintV1(res *RunResult) string {
+	f := newFPHasher()
+
+	// v1 section 1: length-prefixed event stream.
+	f.u64(uint64(len(res.Events)))
+	for _, ev := range res.Events {
+		f.event(ev)
+	}
+
+	// Section 2: link-crossing counters.
+	c := res.Crossings
+	f.u64(c.Data)
+	f.u64(c.Session)
+	f.u64(c.PayloadMulticast)
+	f.u64(c.PayloadSubcast)
+	f.u64(c.PayloadUnicast)
+	f.u64(c.ControlMulticast + c.ControlSubcast)
+	f.u64(c.ControlUnicast)
+
+	// Section 3: finish time.
+	f.i64(int64(res.FinishedAt))
+
+	// Section 4: per-receiver recovery metrics in trace order.
+	f.u64(uint64(len(res.Receivers)))
+	for _, r := range res.Receivers {
+		f.node(r)
+		f.i64(int64(res.Collector.Losses(r)))
+		hc := res.Collector.Counts(r)
+		f.i64(int64(hc.Requests))
+		f.i64(int64(hc.ExpRequests))
+		f.i64(int64(hc.Replies))
+		f.i64(int64(hc.ExpReplies))
+		f.i64(int64(hc.Sessions))
+		lat := res.Collector.NormalizedRecovery(r, res.RTT)
+		f.i64(int64(lat.Count))
+		f.f64(lat.MeanRTT)
+	}
+
+	return fmt.Sprintf("v1:%x", f.h.Sum(nil)[:16])
+}
+
+// TestFingerprintV1V2Migration is the one-time cross-check of the
+// v1 -> v2 fingerprint format change: for each protocol's golden run it
+// reconstructs the retired v1 digest from the retained event stream and
+// asserts it matches the historical v1 golden, while the run's own (v2)
+// fingerprint matches the new golden. Together the two assertions prove
+// the format change moved only the stream-length's position — the
+// simulated behavior behind both digests is the same.
+func TestFingerprintV1V2Migration(t *testing.T) {
+	tr := smallTrace(t, 99)
+	for p, wantV1 := range goldenFingerprintsV1 {
+		res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123, KeepEvents: true})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got := fingerprintV1(res); got != wantV1 {
+			t.Errorf("%v reconstructed v1 fingerprint:\n got  %s\n want %s", p, got, wantV1)
+		}
+		if want := goldenFingerprints[p]; res.Fingerprint != want {
+			t.Errorf("%v v2 fingerprint:\n got  %s\n want %s", p, res.Fingerprint, want)
+		}
+	}
+}
+
+// TestKeepEventsControlsRetention checks event retention is decided
+// inside the run: by default the recorder streams events into the
+// digest without materializing them, and only KeepEvents builds the
+// timeline.
+func TestKeepEventsControlsRetention(t *testing.T) {
+	tr := smallTrace(t, 7)
+	off, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Events != nil {
+		t.Fatalf("default run retained %d events, want nil", len(off.Events))
+	}
+	on, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 5, KeepEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Events) == 0 {
+		t.Fatal("KeepEvents run retained no events")
+	}
+	// Retention must not perturb the run itself.
+	if off.Fingerprint != on.Fingerprint {
+		t.Fatalf("retention changed the fingerprint: %s != %s", off.Fingerprint, on.Fingerprint)
+	}
+}
+
+// TestReleaseRecoveredIsFingerprintInert is the watermark release's
+// acceptance gate: releasing fully-recovered per-packet state mid-run
+// must not change a single event, the finish time or any digested
+// metric — the fingerprint is byte-identical with release on or off —
+// while the peak number of live per-packet cells stays well below the
+// run's total, proving state really was discarded mid-run.
+func TestReleaseRecoveredIsFingerprintInert(t *testing.T) {
+	tr := smallTrace(t, 31)
+	for _, p := range []Protocol{SRM, CESRM, LMS} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			off, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 17, ReleaseRecovered: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Fingerprint != off.Fingerprint {
+				t.Fatalf("release changed the fingerprint:\n on  %s\n off %s", on.Fingerprint, off.Fingerprint)
+			}
+			// The trace has 2000 packets across 8 receivers plus the source;
+			// without release the collector's per-packet table grows one cell
+			// per (host, lost-or-recovered packet). With release the peak
+			// must be bounded by the recovery horizon, far below the total.
+			peak := on.Collector.PeakPacketCells()
+			total := off.Collector.PeakPacketCells()
+			if peak == 0 {
+				t.Fatal("release-on run recorded no per-packet cells")
+			}
+			if peak >= total/2 {
+				t.Fatalf("release-on peak cells %d not meaningfully below release-off %d", peak, total)
+			}
+			if on.Collector.PacketCells() > peak {
+				t.Fatalf("live cells %d exceed recorded peak %d", on.Collector.PacketCells(), peak)
+			}
+		})
+	}
+}

@@ -35,9 +35,11 @@ type Suite struct {
 	// KeepEvents retains each run's ordered protocol-event stream on the
 	// returned results. The stream is only needed for timeline debugging
 	// (stats.WriteEventsNDJSON); the fingerprint digests it during the
-	// run, so sweeps leave this false and let the suite drop the streams
-	// as soon as each pair finishes, keeping peak heap proportional to
-	// one trace's metrics instead of every trace's full event history.
+	// run, so sweeps leave this false and the runs never materialize the
+	// streams at all — and additionally release fully-recovered
+	// per-packet state mid-run (RunConfig.ReleaseRecovered), keeping
+	// peak heap bounded by the in-flight recovery window instead of the
+	// whole transmission.
 	KeepEvents bool
 	// ContinueOnError degrades the sweep gracefully: a trace whose pair
 	// fails (invariant violation, non-quiescence, chaos rejection) is
@@ -109,15 +111,16 @@ func (s Suite) Run() ([]SuiteResult, error) {
 		entry := trace.Catalog[idx-1]
 		base := s.Base
 		base.Seed = s.Seed + int64(idx)
+		// Retention and release are decided inside the run, not post-hoc:
+		// a sweep that doesn't keep events never allocates them, and its
+		// runs shed recovered per-packet state as the watermark advances.
+		base.KeepEvents = s.KeepEvents
+		base.ReleaseRecovered = !s.KeepEvents
 		started := time.Now()
 		pair, err := RunPair(traces[i], PairConfig{Base: base})
 		elapsed := time.Since(started)
 		if err != nil {
 			return SuiteResult{Entry: entry}, fmt.Errorf("experiment: trace %d (%s): %w", idx, entry.Name, err)
-		}
-		if !s.KeepEvents {
-			pair.SRM.Events = nil
-			pair.CESRM.Events = nil
 		}
 		return SuiteResult{
 			Entry:            entry,

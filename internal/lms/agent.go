@@ -102,6 +102,12 @@ type Agent struct {
 	cfg    Config
 	obs    srm.Observer
 
+	// base is the release watermark: per-packet state for sequence
+	// numbers below it has been discarded mid-run (see ReleaseThrough).
+	// received, losses and pending are indexed by seq-base. held is the
+	// length of the contiguous received prefix; base ≤ held ≤ cursor.
+	base          int
+	held          int
 	received      []bool
 	cursor        int
 	highestKnown  int
@@ -210,6 +216,8 @@ func (a *Agent) Restart() {
 	}
 	a.crashed = false
 	a.stopped = false
+	a.base = 0
+	a.held = 0
 	a.received = nil
 	a.cursor = 0
 	a.highestKnown = -1
@@ -232,9 +240,65 @@ func (a *Agent) Transmit(seq int) {
 	a.net.Multicast(a.id, &netsim.Packet{Class: netsim.Payload, Msg: &srm.DataMsg{Source: a.id, Seq: seq}})
 }
 
-// Has reports possession of packet seq.
+// Has reports possession of packet seq. Released sequence numbers
+// report true: release is gated on every live host holding them.
 func (a *Agent) Has(seq int) bool {
-	return seq >= 0 && seq < len(a.received) && a.received[seq]
+	if seq < 0 {
+		return false
+	}
+	if seq < a.base {
+		return true
+	}
+	idx := seq - a.base
+	return idx < len(a.received) && a.received[idx]
+}
+
+// ReleasableThrough returns the watermark through which this host's
+// per-packet state could be discarded right now: the contiguous
+// received prefix. Unlike SRM there is no replier-side timer or
+// abstinence state to wait out — a repair for a held packet is sent
+// synchronously from the reception path, and pending NAKs for a packet
+// are flushed the moment it arrives — so holding a packet is the whole
+// safety condition. The source parameter exists for interface symmetry
+// with srm.Agent and is ignored (LMS is single-stream).
+func (a *Agent) ReleasableThrough(source topology.NodeID) int { return a.held }
+
+// ReleaseThrough discards per-packet state below n. The experiment
+// layer calls it only after every live host reported ReleasableThrough
+// ≥ n and a drain lag covered in-flight traffic. A NAK straggling in
+// for a released sequence is still served correctly: Has reports true,
+// so the repair path runs exactly as it would have before release. No
+// engine operations happen here, so release is invisible to the run's
+// event stream and fingerprint.
+func (a *Agent) ReleaseThrough(source topology.NodeID, n int) {
+	if n > a.held {
+		n = a.held
+	}
+	if n <= a.base {
+		return
+	}
+	drop := n - a.base
+	a.received = dropPrefix(a.received, drop)
+	a.losses = dropPrefix(a.losses, drop)
+	a.pending = dropPrefix(a.pending, drop)
+	a.base = n
+}
+
+// dropPrefix returns s without its first drop elements, in a fresh
+// exact-size backing array (nil when nothing survives).
+func dropPrefix[T any](s []T, drop int) []T {
+	if drop >= len(s) {
+		return nil
+	}
+	tail := make([]T, len(s)-drop)
+	copy(tail, s[drop:])
+	return tail
+}
+
+// PacketWindow returns the number of per-seq state cells currently
+// retained; tests pin release effectiveness with it.
+func (a *Agent) PacketWindow() int {
+	return len(a.received) + len(a.losses) + len(a.pending)
 }
 
 // MissingIn returns how many of [0, n) the agent lacks. The source
@@ -266,19 +330,28 @@ func (a *Agent) RecoveryTime(seq int) (sim.Time, bool) {
 // Outstanding returns the number of unrecovered detected losses.
 func (a *Agent) Outstanding() int { return a.outstanding }
 
-// loss returns the loss state for seq, nil when never detected lost.
+// loss returns the loss state for seq, nil when never detected lost or
+// released.
 func (a *Agent) loss(seq int) *lossState {
-	if seq < 0 || seq >= len(a.losses) {
+	idx := seq - a.base
+	if idx < 0 || idx >= len(a.losses) {
 		return nil
 	}
-	return a.losses[seq]
+	return a.losses[idx]
 }
 
+// markReceived records possession of seq and advances the held prefix.
+// seq is never below base: Has(seq < base) is true, so every arrival
+// path deduplicates released packets first.
 func (a *Agent) markReceived(seq int) {
-	for len(a.received) <= seq {
+	idx := seq - a.base
+	for len(a.received) <= idx {
 		a.received = append(a.received, false)
 	}
-	a.received[seq] = true
+	a.received[idx] = true
+	for a.held-a.base < len(a.received) && a.received[a.held-a.base] {
+		a.held++
+	}
 }
 
 func (a *Agent) noteExists(seq int) {
@@ -328,9 +401,9 @@ func (a *Agent) receivePacket(now sim.Time, seq int, requestor, replier topology
 		a.cursor = seq + 1
 	}
 	// Serve NAKs that were waiting on this packet.
-	if seq < len(a.pending) && len(a.pending[seq]) > 0 {
-		waiting := a.pending[seq]
-		a.pending[seq] = nil
+	if idx := seq - a.base; idx < len(a.pending) && len(a.pending[idx]) > 0 {
+		waiting := a.pending[idx]
+		a.pending[idx] = nil
 		for _, w := range waiting {
 			a.sendRepair(seq, w)
 		}
@@ -356,10 +429,13 @@ func (a *Agent) detectLoss(now sim.Time, seq int) {
 		return
 	}
 	ls := &lossState{detectedAt: now}
-	for len(a.losses) <= seq {
+	// seq is never below base: losses are detected at the cursor, which
+	// never trails the release watermark.
+	idx := seq - a.base
+	for len(a.losses) <= idx {
 		a.losses = append(a.losses, nil)
 	}
-	a.losses[seq] = ls
+	a.losses[idx] = ls
 	a.outstanding++
 	a.obs.LossDetected(a.id, a.source, seq, now)
 	a.sendNAK(now, seq, ls)
@@ -392,15 +468,18 @@ func (a *Agent) onNAK(now sim.Time, m *NAKMsg) {
 		return
 	}
 	// Deduplicate by origin subtree: one repair per subtree suffices.
-	for len(a.pending) <= m.Seq {
+	// m.Seq is never below base here: Has(seq < base) is true, so a
+	// straggling NAK for a released packet took the sendRepair path above.
+	idx := m.Seq - a.base
+	for len(a.pending) <= idx {
 		a.pending = append(a.pending, nil)
 	}
-	for _, p := range a.pending[m.Seq] {
+	for _, p := range a.pending[idx] {
 		if p.originChild == w.originChild {
 			return
 		}
 	}
-	a.pending[m.Seq] = append(a.pending[m.Seq], w)
+	a.pending[idx] = append(a.pending[idx], w)
 	a.noteExists(m.Seq)
 	// The replier shares the loss: make sure its own recovery is under
 	// way (it may not have detected the gap yet).

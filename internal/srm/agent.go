@@ -49,7 +49,16 @@ type replyState struct {
 // supports any number of concurrent single-source transmissions over
 // the shared multicast group (§2); every stream recovers independently.
 type streamState struct {
-	source   topology.NodeID
+	source topology.NodeID
+	// base is the release watermark: per-packet state for sequence
+	// numbers below it has been discarded mid-run (see releaseThrough).
+	// received, losses and replies are indexed by seq-base. Invariant:
+	// base ≤ held ≤ cursor, so the classification and detection paths
+	// never index below the window.
+	base int
+	// held is the length of the contiguous received prefix: this host
+	// holds every sequence number below held.
+	held     int
 	received []bool
 	// cursor: every sequence number below it has been classified as
 	// received or detected lost.
@@ -77,54 +86,136 @@ func newStreamState(source topology.NodeID) *streamState {
 	}
 }
 
-// has reports possession of seq within the stream.
+// has reports possession of seq within the stream. Released sequence
+// numbers report true: release is gated on every live host holding
+// them.
 func (st *streamState) has(seq int) bool {
-	return seq >= 0 && seq < len(st.received) && st.received[seq]
+	if seq < 0 {
+		return false
+	}
+	if seq < st.base {
+		return true
+	}
+	idx := seq - st.base
+	return idx < len(st.received) && st.received[idx]
 }
 
 // loss returns the loss record for seq, nil when the packet was never
-// classified lost.
+// classified lost or its record was released.
 func (st *streamState) loss(seq int) *lossRecord {
-	if seq < 0 || seq >= len(st.losses) {
+	idx := seq - st.base
+	if idx < 0 || idx >= len(st.losses) {
 		return nil
 	}
-	return st.losses[seq]
+	return st.losses[idx]
 }
 
-// setLoss installs the loss record for seq, growing the window.
+// setLoss installs the loss record for seq, growing the window. seq is
+// never below base: losses are detected at the cursor, which never
+// trails the release watermark.
 func (st *streamState) setLoss(seq int, ls *lossRecord) {
-	for len(st.losses) <= seq {
+	idx := seq - st.base
+	for len(st.losses) <= idx {
 		st.losses = append(st.losses, nil)
 	}
-	st.losses[seq] = ls
+	st.losses[idx] = ls
 }
 
-// reply returns the reply state for seq, nil when absent.
+// reply returns the reply state for seq, nil when absent or released.
 func (st *streamState) reply(seq int) *replyState {
-	if seq < 0 || seq >= len(st.replies) {
+	idx := seq - st.base
+	if idx < 0 || idx >= len(st.replies) {
 		return nil
 	}
-	return st.replies[seq]
+	return st.replies[idx]
 }
 
-// ensureReply returns the reply state for seq, creating it on first use.
+// ensureReply returns the reply state for seq, creating it on first
+// use. A released coordinate yields a throwaway so a straggling control
+// message mutates nothing live — release lag makes that unreachable in
+// a correct run, and memory-safe in a buggy one.
 func (st *streamState) ensureReply(seq int) *replyState {
-	for len(st.replies) <= seq {
+	idx := seq - st.base
+	if idx < 0 {
+		return &replyState{}
+	}
+	for len(st.replies) <= idx {
 		st.replies = append(st.replies, nil)
 	}
-	rs := st.replies[seq]
+	rs := st.replies[idx]
 	if rs == nil {
 		rs = &replyState{}
-		st.replies[seq] = rs
+		st.replies[idx] = rs
 	}
 	return rs
 }
 
+// markReceived records possession of seq and advances the held prefix.
+// seq is never below base: has(seq < base) is true, so every arrival
+// path deduplicates released packets before marking.
 func (st *streamState) markReceived(seq int) {
-	for len(st.received) <= seq {
+	idx := seq - st.base
+	for len(st.received) <= idx {
 		st.received = append(st.received, false)
 	}
-	st.received[seq] = true
+	st.received[idx] = true
+	for st.held-st.base < len(st.received) && st.received[st.held-st.base] {
+		st.held++
+	}
+}
+
+// releasableThrough returns the highest watermark n ≤ held such that
+// every sequence number below n is safe to discard on this host: the
+// packet is held and no reply machinery for it is live. A sequence with
+// an armed reply timer must stay — releasing it would silently swallow
+// the pending reply, an observable protocol change — and one inside a
+// reply-abstinence period must stay so a late request keeps being
+// suppressed rather than answered by fresh zero state.
+func (st *streamState) releasableThrough(now sim.Time) int {
+	n := st.base
+	for ; n < st.held; n++ {
+		if rs := st.reply(n); rs != nil && (rs.timer.Active() || now.Before(rs.pendingUntil)) {
+			break
+		}
+	}
+	return n
+}
+
+// releaseThrough discards per-packet state below n. The caller
+// guarantees n is releasable on every live host, so nothing live is
+// dropped; surviving tails are copied to fresh arrays so the prefix is
+// actually reclaimable, not pinned by slice capacity. No engine
+// operations happen here — timers are never cancelled — so release is
+// invisible to the run's event stream, finish time and fingerprint.
+func (st *streamState) releaseThrough(n int) {
+	if n > st.held {
+		n = st.held
+	}
+	if n <= st.base {
+		return
+	}
+	drop := n - st.base
+	st.received = dropPrefix(st.received, drop)
+	st.losses = dropPrefix(st.losses, drop)
+	st.replies = dropPrefix(st.replies, drop)
+	st.base = n
+}
+
+// dropPrefix returns s without its first drop elements, in a fresh
+// exact-size backing array (nil when nothing survives).
+func dropPrefix[T any](s []T, drop int) []T {
+	if drop >= len(s) {
+		return nil
+	}
+	tail := make([]T, len(s)-drop)
+	copy(tail, s[drop:])
+	return tail
+}
+
+// window returns the number of per-seq cells currently retained across
+// the stream's received, loss and reply windows.
+func (st *streamState) window() int {
+	return len(st.received) + len(st.losses) + len(st.replies)
 }
 
 func (st *streamState) noteExists(seq int) {
@@ -299,6 +390,40 @@ func (a *Agent) Outstanding() int { return a.outstanding }
 // stream not yet classified as received-or-lost.
 func (a *Agent) ClassifiedThrough(source topology.NodeID) int {
 	return a.stream(source).cursor
+}
+
+// ReleasableThrough returns the watermark through which this host's
+// per-packet state for the source's stream could be discarded right now
+// (see streamState.releasableThrough). A host with no state for the
+// stream reports 0.
+func (a *Agent) ReleasableThrough(source topology.NodeID) int {
+	st := a.peek(source)
+	if st == nil {
+		return 0
+	}
+	return st.releasableThrough(a.eng.Now())
+}
+
+// ReleaseThrough discards this host's per-packet state for the source's
+// stream below n. The experiment layer calls it only after every live
+// host reported ReleasableThrough ≥ n and a drain lag covered in-flight
+// traffic, so no future event can reference the dropped window.
+func (a *Agent) ReleaseThrough(source topology.NodeID, n int) {
+	if st := a.peek(source); st != nil {
+		st.releaseThrough(n)
+	}
+}
+
+// PacketWindow returns the number of per-seq state cells currently
+// retained across all streams; tests pin release effectiveness with it.
+func (a *Agent) PacketWindow() int {
+	n := 0
+	for _, st := range a.streams {
+		if st != nil {
+			n += st.window()
+		}
+	}
+	return n
 }
 
 // peek returns the stream state for source without creating it.
@@ -727,20 +852,22 @@ type LossReport struct {
 }
 
 // Losses returns reports for every loss this agent detected across all
-// streams, ordered by (source, seq).
+// streams, ordered by (source, seq). Records released mid-run (see
+// ReleaseThrough) are absent; metric paths that need them fold their
+// contribution online instead.
 func (a *Agent) Losses() []LossReport {
 	var out []LossReport
 	for src, st := range a.streams {
 		if st == nil {
 			continue
 		}
-		for seq, ls := range st.losses {
+		for idx, ls := range st.losses {
 			if ls == nil {
 				continue
 			}
 			out = append(out, LossReport{
 				Source:      topology.NodeID(src),
-				Seq:         seq,
+				Seq:         st.base + idx,
 				DetectedAt:  ls.detectedAt,
 				Recovered:   ls.recovered,
 				RecoveredAt: ls.recoveredAt,

@@ -119,30 +119,59 @@ func WriteEventsNDJSON(w io.Writer, events []Event) error {
 	return nil
 }
 
-// Recorder is an Observer that captures the ordered protocol-event
-// stream of a run. The experiment layer hashes the stream into the run
-// fingerprint and exposes it for NDJSON timeline dumps. The zero value
-// is not usable; construct with NewRecorder.
+// Recorder is an Observer that observes the ordered protocol-event
+// stream of a run. By default every event is retained for NDJSON
+// timeline dumps; the experiment layer instead streams events into the
+// run fingerprint as they happen (SetSink) and drops retention
+// (SetKeep(false)) unless the caller asked for the timeline, so a run's
+// memory no longer grows with its event count. The zero value is not
+// usable; construct with NewRecorder.
 type Recorder struct {
 	now    func() sim.Time
+	sink   func(Event)
+	keep   bool
+	count  uint64
 	events []Event
 }
 
-// NewRecorder returns an empty recorder. now supplies the virtual clock
-// used to timestamp events whose observer callback carries no instant
-// (requests, replies, sessions); nil leaves those timestamps zero.
+// NewRecorder returns an empty recorder that retains events. now
+// supplies the virtual clock used to timestamp events whose observer
+// callback carries no instant (requests, replies, sessions); nil leaves
+// those timestamps zero.
 func NewRecorder(now func() sim.Time) *Recorder {
-	return &Recorder{now: now}
+	return &Recorder{now: now, keep: true}
 }
+
+// SetSink installs a streaming consumer invoked for every event as it
+// is observed, in dispatch order, independent of retention. The
+// experiment layer folds events into the fingerprint digest this way.
+func (r *Recorder) SetSink(sink func(Event)) { r.sink = sink }
+
+// SetKeep controls whether events are retained for Events and
+// WriteNDJSON. With keep false the recorder holds no per-event memory;
+// the sink still sees everything and Len still counts.
+func (r *Recorder) SetKeep(keep bool) { r.keep = keep }
 
 var _ srm.Observer = (*Recorder)(nil)
 
-// Events returns the captured stream in dispatch order. The slice is
-// the recorder's backing store; callers must not mutate it.
+// Events returns the captured stream in dispatch order, nil when
+// retention is off. The slice is the recorder's backing store; callers
+// must not mutate it.
 func (r *Recorder) Events() []Event { return r.events }
 
-// Len returns the number of captured events.
-func (r *Recorder) Len() int { return len(r.events) }
+// Len returns the number of events observed, whether or not retained.
+func (r *Recorder) Len() int { return int(r.count) }
+
+// emit dispatches one observed event to the sink and retention store.
+func (r *Recorder) emit(ev Event) {
+	r.count++
+	if r.sink != nil {
+		r.sink(ev)
+	}
+	if r.keep {
+		r.events = append(r.events, ev)
+	}
+}
 
 // WriteNDJSON writes the captured stream as NDJSON.
 func (r *Recorder) WriteNDJSON(w io.Writer) error {
@@ -158,12 +187,12 @@ func (r *Recorder) clock() sim.Time {
 
 // LossDetected implements srm.Observer.
 func (r *Recorder) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
-	r.events = append(r.events, Event{Kind: EventLossDetected, At: at, Host: host, Source: source, Seq: seq})
+	r.emit(Event{Kind: EventLossDetected, At: at, Host: host, Source: source, Seq: seq})
 }
 
 // Recovered implements srm.Observer.
 func (r *Recorder) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
-	r.events = append(r.events, Event{
+	r.emit(Event{
 		Kind: EventRecovered, At: at, Host: host, Source: source, Seq: seq,
 		Expedited: info.Expedited, OwnRequests: info.OwnRequests, Reschedules: info.Reschedules,
 		Requestor: info.Requestor, Replier: info.Replier,
@@ -172,20 +201,20 @@ func (r *Recorder) Recovered(host, source topology.NodeID, seq int, at sim.Time,
 
 // RequestSent implements srm.Observer.
 func (r *Recorder) RequestSent(host, source topology.NodeID, seq int, round int) {
-	r.events = append(r.events, Event{Kind: EventRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq, Round: round})
+	r.emit(Event{Kind: EventRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq, Round: round})
 }
 
 // ExpRequestSent implements srm.Observer.
 func (r *Recorder) ExpRequestSent(host, source topology.NodeID, seq int) {
-	r.events = append(r.events, Event{Kind: EventExpRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq})
+	r.emit(Event{Kind: EventExpRequestSent, At: r.clock(), Host: host, Source: source, Seq: seq})
 }
 
 // ReplySent implements srm.Observer.
 func (r *Recorder) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
-	r.events = append(r.events, Event{Kind: EventReplySent, At: r.clock(), Host: host, Source: source, Seq: seq, Expedited: expedited})
+	r.emit(Event{Kind: EventReplySent, At: r.clock(), Host: host, Source: source, Seq: seq, Expedited: expedited})
 }
 
 // SessionSent implements srm.Observer.
 func (r *Recorder) SessionSent(host topology.NodeID) {
-	r.events = append(r.events, Event{Kind: EventSessionSent, At: r.clock(), Host: host})
+	r.emit(Event{Kind: EventSessionSent, At: r.clock(), Host: host})
 }

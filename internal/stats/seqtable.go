@@ -8,18 +8,33 @@ import "cesrm/internal/topology"
 // sources per run is tiny, so a linear scan over a host's streams beats
 // hashing a 3-field key on every per-packet observation. The zero value
 // is empty and usable.
+//
+// Each stream carries a release watermark (base): cells below it have
+// been discarded mid-run once the experiment layer proved no further
+// event can reference them (see releaseThrough). This is what keeps a
+// full-scale run's per-packet audit state bounded by the in-flight
+// window instead of the whole transmission.
 type seqTable[T any] struct {
 	hosts [][]seqStream[T]
+	// scratch absorbs writes for released coordinates: ensure hands out a
+	// zeroed throwaway cell instead of resurrecting freed state. A
+	// correct run never writes below a stream's base (release happens
+	// only after global quiescence of the prefix); the scratch cell keeps
+	// a buggy late event memory-safe while the validator flags it.
+	scratch T
 }
 
-// seqStream holds one (host, source) stream's per-seq values.
+// seqStream holds one (host, source) stream's per-seq values. vals is
+// indexed by seq-base; sequence numbers below base were released.
 type seqStream[T any] struct {
 	source topology.NodeID
+	base   int
 	vals   []T
 }
 
 // get returns a pointer to the value for (host, source, seq), or nil
-// when no value was ever stored at or beyond that coordinate.
+// when no value was ever stored at or beyond that coordinate, or the
+// coordinate was released.
 func (t *seqTable[T]) get(host, source topology.NodeID, seq int) *T {
 	if int(host) >= len(t.hosts) || seq < 0 {
 		return nil
@@ -27,8 +42,8 @@ func (t *seqTable[T]) get(host, source topology.NodeID, seq int) *T {
 	for i := range t.hosts[host] {
 		s := &t.hosts[host][i]
 		if s.source == source {
-			if seq < len(s.vals) {
-				return &s.vals[seq]
+			if idx := seq - s.base; idx >= 0 && idx < len(s.vals) {
+				return &s.vals[idx]
 			}
 			return nil
 		}
@@ -37,7 +52,8 @@ func (t *seqTable[T]) get(host, source topology.NodeID, seq int) *T {
 }
 
 // ensure returns a pointer to the value for (host, source, seq),
-// growing the table as needed. New cells are zero values.
+// growing the table as needed. New cells are zero values. A released
+// coordinate yields the zeroed scratch cell.
 func (t *seqTable[T]) ensure(host, source topology.NodeID, seq int) *T {
 	for int(host) >= len(t.hosts) {
 		t.hosts = append(t.hosts, nil)
@@ -54,25 +70,66 @@ func (t *seqTable[T]) ensure(host, source topology.NodeID, seq int) *T {
 		idx = len(t.hosts[host]) - 1
 	}
 	s := &t.hosts[host][idx]
-	for len(s.vals) <= seq {
+	if seq < s.base {
+		var zero T
+		t.scratch = zero
+		return &t.scratch
+	}
+	off := seq - s.base
+	for len(s.vals) <= off {
 		var zero T
 		s.vals = append(s.vals, zero)
 	}
-	return &s.vals[seq]
+	return &s.vals[off]
 }
 
-// forEach visits every stored cell in deterministic order: hosts in
-// ascending NodeID order, a host's streams in first-stored order, and
-// sequence numbers ascending.
+// forEach visits every live (unreleased) cell in deterministic order:
+// hosts in ascending NodeID order, a host's streams in first-stored
+// order, and sequence numbers ascending.
 func (t *seqTable[T]) forEach(fn func(host, source topology.NodeID, seq int, v *T)) {
 	for h := range t.hosts {
 		for i := range t.hosts[h] {
 			s := &t.hosts[h][i]
-			for seq := range s.vals {
-				fn(topology.NodeID(h), s.source, seq, &s.vals[seq])
+			for off := range s.vals {
+				fn(topology.NodeID(h), s.source, s.base+off, &s.vals[off])
 			}
 		}
 	}
+}
+
+// releaseThrough discards, on every host, the cells of the given
+// source's stream with sequence numbers below n. The surviving tail is
+// copied to a fresh backing array so the dropped prefix is actually
+// reclaimable, not pinned by slice capacity.
+func (t *seqTable[T]) releaseThrough(source topology.NodeID, n int) {
+	for h := range t.hosts {
+		for i := range t.hosts[h] {
+			s := &t.hosts[h][i]
+			if s.source != source || n <= s.base {
+				continue
+			}
+			drop := n - s.base
+			if drop >= len(s.vals) {
+				s.vals = nil
+			} else {
+				tail := make([]T, len(s.vals)-drop)
+				copy(tail, s.vals[drop:])
+				s.vals = tail
+			}
+			s.base = n
+		}
+	}
+}
+
+// liveCells counts cells currently held across all hosts and streams.
+func (t *seqTable[T]) liveCells() int {
+	n := 0
+	for h := range t.hosts {
+		for i := range t.hosts[h] {
+			n += len(t.hosts[h][i].vals)
+		}
+	}
+	return n
 }
 
 // resetHost discards every stored cell of one host. A restarted host

@@ -62,6 +62,38 @@ type Collector struct {
 	recoveries []Recovery
 	counts     []HostCounts // NodeID-indexed transmission counters
 	lossCount  []int        // NodeID-indexed detected-loss counts
+
+	// Streaming-aggregate mode (StreamAggregates): recoveries fold into
+	// the accumulators below as they complete instead of being retained,
+	// and the experiment layer releases per-packet cells behind the
+	// fully-recovered watermark. Folding happens in completion order —
+	// the exact order the retained-scan aggregations iterate — so the
+	// float64 sums, and therefore run fingerprints, are bit-identical
+	// between the two modes.
+	streaming  bool
+	rtt        RTTFunc
+	perHost    []latencyAccum // overall, NodeID-indexed
+	perHostExp []latencyAccum // expedited only
+	perHostStd []latencyAccum // non-expedited only
+	overall    latencyAccum
+	firstRound latencyAccum // non-expedited first-round, all hosts
+	expKeys    []ExpRequestKey
+	peakCells  int
+}
+
+// latencyAccum is one running normalized-latency aggregation.
+type latencyAccum struct {
+	n   int
+	sum float64
+}
+
+func (a *latencyAccum) add(x float64) { a.n++; a.sum += x }
+
+func (a latencyAccum) summary() LatencySummary {
+	if a.n == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{Count: a.n, MeanRTT: a.sum / float64(a.n)}
 }
 
 // packetMark is the Collector's per-packet cell: the detection instant
@@ -94,10 +126,47 @@ func (c *Collector) Reserve(n int) {
 
 var _ srm.Observer = (*Collector)(nil)
 
-func (c *Collector) host(h topology.NodeID) *HostCounts {
-	for int(h) >= len(c.counts) {
-		c.counts = append(c.counts, HostCounts{})
+// StreamAggregates switches the collector to streaming-aggregate mode:
+// each completed recovery folds into online accumulators (normalized
+// with rtt) instead of being retained as a Recovery record, and
+// per-packet cells become releasable behind the experiment layer's
+// fully-recovered watermark (ReleasePacketsThrough). The aggregate
+// methods then answer from the accumulators — their RTTFunc argument is
+// ignored, rtt installed here applies — while Recoveries and
+// NormalizedPercentile, which need the retained records, report empty.
+// Call before the run starts.
+func (c *Collector) StreamAggregates(rtt RTTFunc) {
+	c.streaming = true
+	c.rtt = rtt
+}
+
+// grown returns s extended to cover index idx, growing geometrically
+// rather than one element per append so dense NodeID-indexed tables
+// never re-slice once per host.
+func grown[T any](s []T, idx int) []T {
+	if idx < len(s) {
+		return s
 	}
+	n := idx + 1
+	if n <= cap(s) {
+		// make zeroes the whole backing array up front, so extending
+		// within capacity exposes zero values only.
+		return s[:n]
+	}
+	capacity := 2 * cap(s)
+	if capacity < n {
+		capacity = n
+	}
+	if capacity < 8 {
+		capacity = 8
+	}
+	t := make([]T, n, capacity)
+	copy(t, s)
+	return t
+}
+
+func (c *Collector) host(h topology.NodeID) *HostCounts {
+	c.counts = grown(c.counts, int(h))
 	return &c.counts[h]
 }
 
@@ -106,9 +175,7 @@ func (c *Collector) LossDetected(host, source topology.NodeID, seq int, at sim.T
 	p := c.packets.ensure(host, source, seq)
 	p.detAt = at
 	p.det = true
-	for int(host) >= len(c.lossCount) {
-		c.lossCount = append(c.lossCount, 0)
-	}
+	c.lossCount = grown(c.lossCount, int(host))
 	c.lossCount[host]++
 }
 
@@ -118,7 +185,7 @@ func (c *Collector) Recovered(host, source topology.NodeID, seq int, at sim.Time
 	if p := c.packets.get(host, source, seq); p != nil && p.det {
 		det = p.detAt
 	}
-	c.recoveries = append(c.recoveries, Recovery{
+	r := Recovery{
 		Host:        host,
 		Source:      source,
 		Seq:         seq,
@@ -129,7 +196,56 @@ func (c *Collector) Recovered(host, source topology.NodeID, seq int, at sim.Time
 		Reschedules: info.Reschedules,
 		Requestor:   info.Requestor,
 		Replier:     info.Replier,
-	})
+	}
+	if !c.streaming {
+		c.recoveries = append(c.recoveries, r)
+		return
+	}
+	basis := c.rtt(host)
+	if basis <= 0 {
+		return // the retained-scan aggregations skip these too
+	}
+	x := float64(r.Latency()) / float64(basis)
+	c.perHost = grown(c.perHost, int(host))
+	c.perHost[host].add(x)
+	if r.Expedited {
+		c.perHostExp = grown(c.perHostExp, int(host))
+		c.perHostExp[host].add(x)
+	} else {
+		c.perHostStd = grown(c.perHostStd, int(host))
+		c.perHostStd[host].add(x)
+		if r.FirstRound() {
+			c.firstRound.add(x)
+		}
+	}
+	c.overall.add(x)
+}
+
+// ReleasePacketsThrough discards the per-packet cells of the given
+// source's stream below sequence number n, on every host. The
+// experiment layer calls it once the fully-recovered watermark proves
+// no further event can reference those packets. Only meaningful in
+// streaming-aggregate mode; a retained-mode collector keeps everything.
+func (c *Collector) ReleasePacketsThrough(source topology.NodeID, n int) {
+	if !c.streaming {
+		return
+	}
+	if cells := c.packets.liveCells(); cells > c.peakCells {
+		c.peakCells = cells
+	}
+	c.packets.releaseThrough(source, n)
+}
+
+// PacketCells counts the per-packet cells currently held.
+func (c *Collector) PacketCells() int { return c.packets.liveCells() }
+
+// PeakPacketCells returns the largest cell count observed at a release
+// point, a mid-run memory high-water mark for the watermark tests.
+func (c *Collector) PeakPacketCells() int {
+	if cells := c.packets.liveCells(); cells > c.peakCells {
+		c.peakCells = cells
+	}
+	return c.peakCells
 }
 
 // RequestSent implements srm.Observer.
@@ -140,7 +256,16 @@ func (c *Collector) RequestSent(host, source topology.NodeID, seq int, round int
 // ExpRequestSent implements srm.Observer.
 func (c *Collector) ExpRequestSent(host, source topology.NodeID, seq int) {
 	c.host(host).ExpRequests++
-	c.packets.ensure(host, source, seq).expReq = true
+	p := c.packets.ensure(host, source, seq)
+	if !p.expReq && c.streaming {
+		// Record the distinct key online: the cell may be released before
+		// the end-of-run ExpRequestedPackets walk. The expReq flag
+		// deduplicates repeats while the cell is live; after release no
+		// expedited request for the packet can occur (it was recovered
+		// everywhere long before).
+		c.expKeys = append(c.expKeys, ExpRequestKey{Host: host, Source: source, Seq: seq})
+	}
+	p.expReq = true
 }
 
 // ReplySent implements srm.Observer.
@@ -157,7 +282,9 @@ func (c *Collector) SessionSent(host topology.NodeID) {
 	c.host(host).Sessions++
 }
 
-// Recoveries returns all recorded recoveries in completion order.
+// Recoveries returns all recorded recoveries in completion order. In
+// streaming-aggregate mode records are not retained and this is empty;
+// use the aggregate methods instead.
 func (c *Collector) Recoveries() []Recovery { return c.recoveries }
 
 // Losses returns the number of losses detected by host.
@@ -215,6 +342,20 @@ type ExpRequestKey struct {
 // trace to count spurious expedited requests — requests chasing packets
 // that were merely reordered, not lost (§3.2).
 func (c *Collector) ExpRequestedPackets() []ExpRequestKey {
+	if c.streaming {
+		out := append([]ExpRequestKey(nil), c.expKeys...)
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.Host != b.Host {
+				return a.Host < b.Host
+			}
+			if a.Source != b.Source {
+				return a.Source < b.Source
+			}
+			return a.Seq < b.Seq
+		})
+		return out
+	}
 	var out []ExpRequestKey
 	c.packets.forEach(func(host, source topology.NodeID, seq int, p *packetMark) {
 		if p.expReq {
@@ -257,9 +398,21 @@ func (c *Collector) meanNormalized(rtt RTTFunc, keep func(Recovery) bool) Latenc
 	return LatencySummary{Count: n, MeanRTT: sum / float64(n)}
 }
 
+// accumAt returns the accumulator for host in s, zero when the host
+// never contributed.
+func accumAt(s []latencyAccum, host topology.NodeID) latencyAccum {
+	if int(host) >= len(s) {
+		return latencyAccum{}
+	}
+	return s[host]
+}
+
 // NormalizedRecovery returns the host's average normalized recovery time
 // over all its recoveries (the Figure 1 metric).
 func (c *Collector) NormalizedRecovery(host topology.NodeID, rtt RTTFunc) LatencySummary {
+	if c.streaming {
+		return accumAt(c.perHost, host).summary()
+	}
 	return c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host })
 }
 
@@ -267,6 +420,9 @@ func (c *Collector) NormalizedRecovery(host topology.NodeID, rtt RTTFunc) Latenc
 // time separately for expedited and non-expedited recoveries (the
 // Figure 2 metric).
 func (c *Collector) NormalizedRecoverySplit(host topology.NodeID, rtt RTTFunc) (expedited, normal LatencySummary) {
+	if c.streaming {
+		return accumAt(c.perHostExp, host).summary(), accumAt(c.perHostStd, host).summary()
+	}
 	expedited = c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host && r.Expedited })
 	normal = c.meanNormalized(rtt, func(r Recovery) bool { return r.Host == host && !r.Expedited })
 	return expedited, normal
@@ -276,12 +432,18 @@ func (c *Collector) NormalizedRecoverySplit(host topology.NodeID, rtt RTTFunc) (
 // non-expedited first-round recoveries across all hosts (the §3.4 /
 // Eq. (1) metric).
 func (c *Collector) FirstRoundNormalized(rtt RTTFunc) LatencySummary {
+	if c.streaming {
+		return c.firstRound.summary()
+	}
 	return c.meanNormalized(rtt, func(r Recovery) bool { return !r.Expedited && r.FirstRound() })
 }
 
 // OverallNormalized returns the average normalized latency over every
 // recovery on every host.
 func (c *Collector) OverallNormalized(rtt RTTFunc) LatencySummary {
+	if c.streaming {
+		return c.overall.summary()
+	}
 	return c.meanNormalized(rtt, func(Recovery) bool { return true })
 }
 

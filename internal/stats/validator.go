@@ -106,6 +106,17 @@ func (v *Validator) NoteCrash(host topology.NodeID, at sim.Time) {
 	v.crashedAt[host] = at
 }
 
+// ReleaseThrough discards the per-packet audit cells of the given
+// source's stream below sequence number n on every host. The experiment
+// layer calls it behind the fully-recovered watermark: no further event
+// may reference those packets, so their audit rows can only ever be
+// read again by a protocol bug — which still violates (a released
+// coordinate reads as a blank row, so e.g. a late recovery raises
+// recover-undetected instead of double-recover).
+func (v *Validator) ReleaseThrough(source topology.NodeID, n int) {
+	v.packets.releaseThrough(source, n)
+}
+
 // NoteRestart records that host rejoined. Its audit rows reset: the new
 // incarnation starts blank and re-detects its losses.
 func (v *Validator) NoteRestart(host topology.NodeID, at sim.Time) {

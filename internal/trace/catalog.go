@@ -46,12 +46,14 @@ var Catalog = []CatalogEntry{
 }
 
 // Spec derives the generation spec for the entry, with packet and loss
-// counts scaled by the dimensionless factor scale in (0, 1]. Scaling
-// preserves loss rates and burst structure while shrinking runtime;
-// scale 1 reproduces the full Table 1 volumes.
+// counts scaled by the positive dimensionless factor scale. Scaling
+// preserves loss rates and burst structure; scale 1 reproduces the full
+// Table 1 volumes, smaller scales shrink runtime, and scales above 1
+// extrapolate beyond the recorded transmissions (memory-scaling
+// experiments use scale 5).
 func (e CatalogEntry) Spec(scale float64) (GenSpec, error) {
-	if scale <= 0 || scale > 1 {
-		return GenSpec{}, fmt.Errorf("trace: scale %v out of (0, 1]", scale)
+	if scale <= 0 {
+		return GenSpec{}, fmt.Errorf("trace: scale %v must be positive", scale)
 	}
 	packets := int(float64(e.Packets)*scale + 0.5)
 	if packets < 100 {

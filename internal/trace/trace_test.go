@@ -289,8 +289,17 @@ func TestSpecRejectsBadScale(t *testing.T) {
 	if _, err := Catalog[0].Spec(0); err == nil {
 		t.Fatal("accepted scale 0")
 	}
-	if _, err := Catalog[0].Spec(1.5); err == nil {
-		t.Fatal("accepted scale > 1")
+	if _, err := Catalog[0].Spec(-1); err == nil {
+		t.Fatal("accepted negative scale")
+	}
+	// Scales above 1 extrapolate beyond the recorded volumes and are
+	// valid (memory-scaling experiments use them).
+	spec, err := Catalog[0].Spec(2)
+	if err != nil {
+		t.Fatalf("rejected scale 2: %v", err)
+	}
+	if spec.NumPackets != 2*Catalog[0].Packets {
+		t.Fatalf("scale 2 packets = %d, want %d", spec.NumPackets, 2*Catalog[0].Packets)
 	}
 }
 
