@@ -19,7 +19,11 @@
 //     committed one by more than -max-regression-pct percent. Wall time
 //     is machine-dependent, so the gate is deliberately loose; it
 //     catches order-of-magnitude scheduler regressions, not percent
-//     drift.
+//     drift. The gate only fires when both snapshots were taken under
+//     the same dispatch config (shards and GOMAXPROCS); otherwise the
+//     wall times measure different executions and the comparison is
+//     reported but not gated. Snapshots predating those fields read as
+//     serial on an unrecorded core count and keep gating.
 //  3. Memory: the fresh peak live heap must not exceed the committed
 //     one by more than -max-mem-regression-pct percent. Peak heap is
 //     far more stable than wall time (allocation volume is
@@ -63,6 +67,46 @@ type diffPerf struct {
 	ElapsedNS     int64  `json:"suite_elapsed_ns"`
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	Parallel      int    `json:"parallel"`
+	Shards        int    `json:"shards"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Repeats       int    `json:"repeats"`
+}
+
+// config renders the execution shape behind a perf block. Snapshots
+// predating the sharded-dispatch schema carry zeros, which mean serial
+// dispatch on an unrecorded core count.
+func (p diffPerf) config() string {
+	shards := p.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	procs := "?"
+	if p.GOMAXPROCS > 0 {
+		procs = fmt.Sprint(p.GOMAXPROCS)
+	}
+	reps := p.Repeats
+	if reps == 0 {
+		reps = 1
+	}
+	return fmt.Sprintf("shards=%d procs=%s repeats=%d", shards, procs, reps)
+}
+
+// comparableWall reports whether two perf blocks were taken under the
+// same dispatch mode and core count, i.e. whether their wall times
+// measure the same thing. Unrecorded (zero) GOMAXPROCS matches anything
+// so pre-schema snapshots keep gating.
+func comparableWall(a, b diffPerf) bool {
+	sa, sb := a.Shards, b.Shards
+	if sa == 0 {
+		sa = 1
+	}
+	if sb == 0 {
+		sb = 1
+	}
+	if sa != sb {
+		return false
+	}
+	return a.GOMAXPROCS == 0 || b.GOMAXPROCS == 0 || a.GOMAXPROCS == b.GOMAXPROCS
 }
 
 type diffItem struct {
@@ -153,19 +197,34 @@ func diff(committed, fresh *diffRun, maxRegressionPct, maxMemRegressionPct float
 	if committed.Perf.ElapsedNS > 0 {
 		pct := 100 * (float64(fresh.Perf.ElapsedNS) - float64(committed.Perf.ElapsedNS)) /
 			float64(committed.Perf.ElapsedNS)
-		verdict := "ok"
-		if pct > maxRegressionPct {
-			verdict = "FAIL"
-			fails = append(fails, fmt.Sprintf(
-				"suite wall time regressed %.1f%% (%.3fs -> %.3fs), budget %.0f%%",
-				pct, float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
-				maxRegressionPct))
+		if !comparableWall(committed.Perf, fresh.Perf) {
+			// Different dispatch mode or core count: the wall times measure
+			// different executions, so the regression gate would be noise.
+			fmt.Printf("wall time: committed %.3fs (%s), fresh %.3fs (%s) — configs differ, gate skipped\n",
+				float64(committed.Perf.ElapsedNS)/1e9, committed.Perf.config(),
+				float64(fresh.Perf.ElapsedNS)/1e9, fresh.Perf.config())
+		} else {
+			verdict := "ok"
+			if pct > maxRegressionPct {
+				verdict = "FAIL"
+				fails = append(fails, fmt.Sprintf(
+					"suite wall time regressed %.1f%% (%.3fs -> %.3fs), budget %.0f%%",
+					pct, float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
+					maxRegressionPct))
+			}
+			fmt.Printf("wall time: committed %.3fs, fresh %.3fs (%+.1f%%, budget +%.0f%%) [%s] %s\n",
+				float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
+				pct, maxRegressionPct, fresh.Perf.config(), verdict)
 		}
-		fmt.Printf("wall time: committed %.3fs, fresh %.3fs (%+.1f%%, budget +%.0f%%) %s\n",
-			float64(committed.Perf.ElapsedNS)/1e9, float64(fresh.Perf.ElapsedNS)/1e9,
-			pct, maxRegressionPct, verdict)
 	}
-	if committed.Perf.PeakHeapBytes > 0 && fresh.Perf.PeakHeapBytes > 0 {
+	if committed.Perf.PeakHeapBytes > 0 && fresh.Perf.PeakHeapBytes > 0 &&
+		!comparableWall(committed.Perf, fresh.Perf) {
+		// Sharded dispatch legitimately holds more live state (per-shard
+		// op logs and queues), so cross-config peak heap is informational.
+		fmt.Printf("peak heap: committed %.1f MB (%s), fresh %.1f MB (%s) — configs differ, gate skipped\n",
+			float64(committed.Perf.PeakHeapBytes)/1e6, committed.Perf.config(),
+			float64(fresh.Perf.PeakHeapBytes)/1e6, fresh.Perf.config())
+	} else if committed.Perf.PeakHeapBytes > 0 && fresh.Perf.PeakHeapBytes > 0 {
 		pct := 100 * (float64(fresh.Perf.PeakHeapBytes) - float64(committed.Perf.PeakHeapBytes)) /
 			float64(committed.Perf.PeakHeapBytes)
 		verdict := "ok"

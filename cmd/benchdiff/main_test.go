@@ -85,6 +85,44 @@ func TestFailOnFingerprintMismatch(t *testing.T) {
 	}
 }
 
+func TestWallGateSkippedAcrossDispatchConfigs(t *testing.T) {
+	c := write(t, "committed.json", committedBody) // no shards/gomaxprocs: serial, unknown cores
+	sharded := `{
+  "seed": 1, "fingerprint_version": "v1",
+  "runs": [{
+    "scale": 0.01,
+    "perf": {"suite_elapsed_ns": 9000000000, "parallel": 1, "shards": 8, "gomaxprocs": 8, "repeats": 3},
+    "traces": [
+      {"index": 1, "name": "A", "srm_fingerprint": "v1:aa", "cesrm_fingerprint": "v1:bb", "wall_ns": 600},
+      {"index": 2, "name": "B", "srm_fingerprint": "v1:cc", "cesrm_fingerprint": "v1:dd", "wall_ns": 600}
+    ]
+  }]
+}`
+	f := write(t, "fresh.json", sharded)
+	// 9x the committed wall time, but under shards=8 vs serial: the wall
+	// gate must not fire because the runs measure different executions.
+	if err := run([]string{"-committed", c, "-fresh", f}); err != nil {
+		t.Fatalf("cross-config wall comparison gated: %v", err)
+	}
+	// Same sharded config on both sides gates again.
+	c2 := write(t, "committed2.json", sharded)
+	slow := `{
+  "seed": 1, "fingerprint_version": "v1",
+  "runs": [{
+    "scale": 0.01,
+    "perf": {"suite_elapsed_ns": 18000000000, "parallel": 1, "shards": 8, "gomaxprocs": 8, "repeats": 3},
+    "traces": [
+      {"index": 1, "name": "A", "srm_fingerprint": "v1:aa", "cesrm_fingerprint": "v1:bb", "wall_ns": 600},
+      {"index": 2, "name": "B", "srm_fingerprint": "v1:cc", "cesrm_fingerprint": "v1:dd", "wall_ns": 600}
+    ]
+  }]
+}`
+	f2 := write(t, "fresh2.json", slow)
+	if err := run([]string{"-committed", c2, "-fresh", f2}); err == nil {
+		t.Fatal("100% regression under matching sharded configs passed")
+	}
+}
+
 func TestLegacySingleScaleSchema(t *testing.T) {
 	legacy := `{
   "seed": 1, "fingerprint_version": "v1",

@@ -42,6 +42,7 @@ import (
 	"runtime/debug"
 	"runtime/metrics"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -78,12 +79,22 @@ type benchRunJSON struct {
 // live-heap high-water mark — both vary with the machine. Comparing
 // these blocks across code revisions — with identical fingerprints
 // proving the runs behaviorally equal — quantifies a perf change.
+// With Repeats > 1 the suite pass runs that many times: ElapsedNS is
+// the median pass (single-shot smoke runs are far too noisy to gate
+// tightly), PeakHeapBytes the maximum, and the allocation counters come
+// from the first pass. Shards records the intra-run dispatch mode
+// (0/1 = serial) and GOMAXPROCS the cores the process could use —
+// wall-time comparisons across snapshots are only meaningful between
+// matching values.
 type benchPerfJSON struct {
 	ElapsedNS     int64  `json:"suite_elapsed_ns"`
 	Mallocs       uint64 `json:"suite_mallocs"`
 	AllocBytes    uint64 `json:"suite_alloc_bytes"`
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	Parallel      int    `json:"parallel"`
+	Shards        int    `json:"shards,omitempty"`
+	GOMAXPROCS    int    `json:"gomaxprocs,omitempty"`
+	Repeats       int    `json:"repeats,omitempty"`
 }
 
 type benchTraceJSON struct {
@@ -134,6 +145,13 @@ func writeJSON(path string, out benchJSON) error {
 		return err
 	}
 	return f.Close()
+}
+
+// medianDuration returns the median of ds (lower middle on even
+// counts); ds must be non-empty and is reordered in place.
+func medianDuration(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[(len(ds)-1)/2]
 }
 
 // scaleFlag collects repeated (or comma-separated) -scale values.
@@ -366,6 +384,8 @@ func run(args []string) error {
 	policy := fs.String("policy", "most-recent", "CESRM expedition policy: most-recent or most-frequent")
 	routerAssist := fs.Bool("router-assist", false, "enable the router-assisted CESRM variant (§3.3)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
+	shards := fs.Int("shards", 0, "intra-run dispatch shards per simulation (0 or 1 = serial, < 0 = GOMAXPROCS); fingerprints are identical at any value")
+	repeat := fs.Int("repeat", 1, "suite passes per scale; the JSON perf block records the median wall time")
 	chaosMatrix := fs.Bool("chaos-matrix", false, "run the deterministic fault-injection scenario matrix per selected trace (instead of the figure suite) and report per-scenario fingerprints")
 	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf, one entry per scale) to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run(s) to this file")
@@ -375,6 +395,13 @@ func run(args []string) error {
 	}
 	if len(scales) == 0 {
 		scales = scaleFlag{0.1}
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat %d must be >= 1", *repeat)
+	}
+	shardsVal := *shards
+	if shardsVal < 0 {
+		shardsVal = runtime.GOMAXPROCS(0)
 	}
 
 	indices, err := selectTraces(*traces, traceNames)
@@ -429,6 +456,7 @@ func run(args []string) error {
 				Net:           netCfg,
 				CESRM:         cesrmCfg,
 				LossyRecovery: *lossy,
+				Shards:        shardsVal,
 			},
 		}
 		if si > 0 {
@@ -440,22 +468,44 @@ func run(args []string) error {
 			// on memory-pressured machines).
 			debug.FreeOSMemory()
 		}
-		fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v\n\n",
-			scale, *seed, *delay, *lossy, *policy, *routerAssist)
+		fmt.Printf("cesrm-bench: scale=%v seed=%d delay=%v lossy=%v policy=%s router-assist=%v shards=%d\n\n",
+			scale, *seed, *delay, *lossy, *policy, *routerAssist, shardsVal)
 
-		sampler := startHeapSampler(20 * time.Millisecond)
-		suite.Base.HeapProbe = sampler.Probe
-		var m0 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		started := time.Now()
-		results, err := suite.Run()
-		elapsed := time.Since(started)
-		var m1 runtime.MemStats
-		runtime.ReadMemStats(&m1)
-		peak := sampler.Stop()
-		if err != nil {
-			return err
+		// With -repeat N the pass runs N times; the perf block records
+		// the median wall time (smoke-scale single shots are dominated
+		// by scheduling noise), the max heap watermark, and the first
+		// pass's exact allocation counters. Fingerprints are identical
+		// across passes by construction, so the last results render.
+		var results []experiment.SuiteResult
+		var elapsedAll []time.Duration
+		var peak uint64
+		var mallocs, allocBytes uint64
+		for pass := 0; pass < *repeat; pass++ {
+			if pass > 0 {
+				debug.FreeOSMemory()
+			}
+			sampler := startHeapSampler(20 * time.Millisecond)
+			suite.Base.HeapProbe = sampler.Probe
+			var m0 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			started := time.Now()
+			res, err := suite.Run()
+			elapsedAll = append(elapsedAll, time.Since(started))
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			if p := sampler.Stop(); p > peak {
+				peak = p
+			}
+			if err != nil {
+				return err
+			}
+			if pass == 0 {
+				mallocs = m1.Mallocs - m0.Mallocs
+				allocBytes = m1.TotalAlloc - m0.TotalAlloc
+			}
+			results = res
 		}
+		elapsed := medianDuration(elapsedAll)
 
 		switch *section {
 		case "all":
@@ -490,10 +540,13 @@ func run(args []string) error {
 
 		out.Runs = append(out.Runs, benchRun(scale, benchPerfJSON{
 			ElapsedNS:     elapsed.Nanoseconds(),
-			Mallocs:       m1.Mallocs - m0.Mallocs,
-			AllocBytes:    m1.TotalAlloc - m0.TotalAlloc,
+			Mallocs:       mallocs,
+			AllocBytes:    allocBytes,
 			PeakHeapBytes: peak,
 			Parallel:      *parallel,
+			Shards:        shardsVal,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Repeats:       *repeat,
 		}, results))
 	}
 

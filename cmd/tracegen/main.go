@@ -88,12 +88,17 @@ func locality(args []string) error {
 func catalog(args []string) error {
 	fs := flag.NewFlagSet("catalog", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.1, "volume scale in (0,1]")
+	extended := fs.Bool("extended", false, "include the extended stress entries (SYN10K et al.)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	entries := trace.Catalog
+	if *extended {
+		entries = append(append([]trace.CatalogEntry(nil), entries...), trace.Extended...)
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "#\tTrace\tRcvrs\tDepth\tPeriod\tPkts\tLosses\tTarget\tBurstLen\tCalibErr")
-	for _, e := range trace.Catalog {
+	for _, e := range entries {
 		tr, err := e.Load(*scale)
 		if err != nil {
 			return err

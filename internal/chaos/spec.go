@@ -115,6 +115,13 @@ func (s *Spec) HasJitter() bool { return s.hasKind(Jitter) }
 // HasDuplicates reports whether the spec contains duplicate windows.
 func (s *Spec) HasDuplicates() bool { return s.hasKind(Duplicate) }
 
+// HasRestart reports whether the spec contains restart faults. Restarts
+// are the one fault that invalidates the fully-recovered release
+// watermark: a restarted host re-detects and re-recovers everything, so
+// no prefix of the stream is ever globally dead. Crash-only, link-flap,
+// jitter and duplicate specs leave the watermark sound.
+func (s *Spec) HasRestart() bool { return s.hasKind(Restart) }
+
 func (s *Spec) hasKind(k Kind) bool {
 	for _, f := range s.Faults {
 		if f.Kind == k {

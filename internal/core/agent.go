@@ -42,8 +42,8 @@ func DefaultConfig() Config {
 // scheme. It implements netsim.Host.
 type Agent struct {
 	srm *srm.Agent
-	net *netsim.Network
-	eng *sim.Engine
+	net netsim.Endpoint
+	eng sim.Sched
 	cfg Config
 
 	// caches holds one requestor/replier cache per source (§3.1).
@@ -83,7 +83,7 @@ func (e *agentExtension) ReplyObserved(now sim.Time, m *srm.ReplyMsg, everLost b
 
 // NewAgent constructs a CESRM endpoint at node id and registers it with
 // the network. obs may be nil.
-func NewAgent(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
+func NewAgent(eng sim.Sched, net netsim.Endpoint, rng *sim.RNG, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
 	capacity := cfg.CacheCapacity
 	if capacity == 0 {
 		capacity = DefaultCacheCapacity

@@ -130,9 +130,20 @@ type RunConfig struct {
 	// Release performs no engine operations, so fingerprints are
 	// byte-identical with it on or off. Retained-record APIs
 	// (Collector.Recoveries) are empty for such runs. Forced off when
-	// Chaos is set: a restarted host re-detects and re-recovers
-	// everything, so no prefix is ever globally dead.
+	// Chaos contains restart faults: a restarted host re-detects and
+	// re-recovers everything, so no prefix is ever globally dead. All
+	// other chaos kinds (crash-only, link flaps, jitter ramps,
+	// duplicate storms, starvation) keep the watermark sound and
+	// release normally.
 	ReleaseRecovered bool
+	// Shards enables sharded parallel dispatch: the topology's root
+	// subtrees are partitioned into up to Shards dispatch shards
+	// (topology.PartitionSubtrees) and same-instant events of distinct
+	// shards execute concurrently on a worker pool, with all
+	// order-sensitive side effects merged back in serial dispatch order.
+	// Fingerprints are byte-identical for every value of Shards; values
+	// below 2 (and trees whose root has one child) run serially.
+	Shards int
 	// HeapProbe, when non-nil, is invoked on every monitor tick (once
 	// per session period of virtual time); cesrm-bench installs a heap
 	// high-watermark sampler so peak-memory reporting cannot miss spikes
@@ -326,6 +337,19 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	eng := sim.NewEngine()
 	eng.SetBudget(cfg.Budget)
 	net := netsim.New(eng, tree, cfg.Net)
+	// Sharded dispatch: partition the root subtrees, label deliveries
+	// with their receiving node's shard, and hand each host shard-local
+	// engine/network handles below. With Shards < 2 all of this is nil
+	// and the run is the plain serial path.
+	var shards []*sim.Shard
+	var shardOf []int32
+	if cfg.Shards > 1 {
+		shards = eng.EnableSharding(cfg.Shards)
+		if shards != nil {
+			shardOf = topology.PartitionSubtrees(tree, len(shards))
+			net.SetShards(shardOf)
+		}
+	}
 	rtt := func(h topology.NodeID) time.Duration {
 		return net.RTT(h, source)
 	}
@@ -380,12 +404,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// metrics collector.
 	collector := stats.New()
 	collector.Reserve(tree.NumNodes())
-	// Release is gated on a fault-free configuration: under Chaos a
-	// restarted host legitimately re-detects and re-recovers everything,
-	// so no prefix of the stream is ever globally dead. Permanent Crashes
-	// are fine — crashed hosts never rejoin and are skipped by the
-	// watermark.
-	releaseOn := cfg.ReleaseRecovered && cfg.Chaos == nil
+	// Release is gated on restart-free configurations only: a restarted
+	// host legitimately re-detects and re-recovers everything, so no
+	// prefix of the stream is ever globally dead. Every other fault —
+	// permanent crashes (chaos or cfg.Crashes), link flaps, jitter
+	// ramps, duplicate storms, starvation — leaves the watermark sound:
+	// crashed hosts never rejoin and are skipped, and the remaining
+	// faults only delay recovery, which the watermark already waits for.
+	releaseOn := cfg.ReleaseRecovered && (cfg.Chaos == nil || !cfg.Chaos.HasRestart())
 	if releaseOn {
 		collector.StreamAggregates(rtt)
 	}
@@ -417,12 +443,29 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			return nil, fmt.Errorf("experiment: adaptive timers are an SRM mechanism, not applicable to LMS")
 		}
 	}
+	// Shard-local handles, one per shard, shared by that shard's hosts.
+	// In serial runs the agents hold the engine and network directly.
+	ports := make([]netsim.Endpoint, len(shards))
+	observers := make([]srm.Observer, len(shards))
+	for i, sh := range shards {
+		ports[i] = netsim.NewPort(net, sh)
+		observers[i] = &deferredObserver{sh: sh, obs: observer}
+	}
 	for _, id := range hosts {
 		hostRNG := rootRNG.Split()
+		var hostEng sim.Sched = eng
+		var hostNet netsim.Endpoint = net
+		hostObs := srm.Observer(observer)
+		if shardOf != nil {
+			sh := shardOf[id]
+			hostEng = shards[sh]
+			hostNet = ports[sh]
+			hostObs = observers[sh]
+		}
 		var srmAgent *srm.Agent
 		switch cfg.Protocol {
 		case SRM:
-			a, err := srm.NewAgent(eng, net, hostRNG, id, cfg.SRM, observer, nil)
+			a, err := srm.NewAgent(hostEng, hostNet, hostRNG, id, cfg.SRM, hostObs, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -432,7 +475,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		case CESRM:
 			cc := cfg.CESRM
 			cc.SRM = cfg.SRM
-			a, err := core.NewAgent(eng, net, hostRNG, id, cc, observer)
+			a, err := core.NewAgent(hostEng, hostNet, hostRNG, id, cc, hostObs)
 			if err != nil {
 				return nil, err
 			}
@@ -440,7 +483,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			inspectors[id] = a.SRM()
 			srmAgent = a.SRM()
 		case LMS:
-			a, err := lms.NewAgent(eng, net, fabric, id, cfg.LMS, observer)
+			a, err := lms.NewAgent(hostEng, hostNet, fabric, id, cfg.LMS, hostObs)
 			if err != nil {
 				return nil, err
 			}

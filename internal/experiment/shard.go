@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/topology"
+)
+
+// deferredObserver routes a host's protocol-event emissions through its
+// shard's op log when issued inside a parallel region, so the collector,
+// validator and fingerprint recorder observe every event in the exact
+// serial dispatch order (and with the recorder's clock already at the
+// batch instant). Outside a region it forwards immediately.
+type deferredObserver struct {
+	sh  *sim.Shard
+	obs srm.Observer
+}
+
+var _ srm.Observer = (*deferredObserver)(nil)
+
+func (d *deferredObserver) LossDetected(host, source topology.NodeID, seq int, at sim.Time) {
+	if !d.sh.Buffering() {
+		d.obs.LossDetected(host, source, seq, at)
+		return
+	}
+	d.sh.Defer(func() { d.obs.LossDetected(host, source, seq, at) })
+}
+
+func (d *deferredObserver) Recovered(host, source topology.NodeID, seq int, at sim.Time, info srm.RecoveryInfo) {
+	if !d.sh.Buffering() {
+		d.obs.Recovered(host, source, seq, at, info)
+		return
+	}
+	d.sh.Defer(func() { d.obs.Recovered(host, source, seq, at, info) })
+}
+
+func (d *deferredObserver) RequestSent(host, source topology.NodeID, seq int, round int) {
+	if !d.sh.Buffering() {
+		d.obs.RequestSent(host, source, seq, round)
+		return
+	}
+	d.sh.Defer(func() { d.obs.RequestSent(host, source, seq, round) })
+}
+
+func (d *deferredObserver) ExpRequestSent(host, source topology.NodeID, seq int) {
+	if !d.sh.Buffering() {
+		d.obs.ExpRequestSent(host, source, seq)
+		return
+	}
+	d.sh.Defer(func() { d.obs.ExpRequestSent(host, source, seq) })
+}
+
+func (d *deferredObserver) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
+	if !d.sh.Buffering() {
+		d.obs.ReplySent(host, source, seq, expedited)
+		return
+	}
+	d.sh.Defer(func() { d.obs.ReplySent(host, source, seq, expedited) })
+}
+
+func (d *deferredObserver) SessionSent(host topology.NodeID) {
+	if !d.sh.Buffering() {
+		d.obs.SessionSent(host)
+		return
+	}
+	d.sh.Defer(func() { d.obs.SessionSent(host) })
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"cesrm/internal/chaos"
+	"cesrm/internal/sim"
+)
+
+// TestShardedFingerprintEquality pins the tentpole contract: a sharded
+// run is byte-identical to the serial run, for every protocol and for
+// shard counts below, at and above the subtree count.
+func TestShardedFingerprintEquality(t *testing.T) {
+	tr := smallTrace(t, 99)
+	for _, p := range []Protocol{SRM, CESRM, LMS} {
+		serial, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123})
+		if err != nil {
+			t.Fatalf("%v serial: %v", p, err)
+		}
+		for _, shards := range []int{2, 4, 16} {
+			res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123, Shards: shards})
+			if err != nil {
+				t.Fatalf("%v shards=%d: %v", p, shards, err)
+			}
+			if res.Fingerprint != serial.Fingerprint {
+				t.Errorf("%v shards=%d fingerprint diverged:\n got  %s\n want %s",
+					p, shards, res.Fingerprint, serial.Fingerprint)
+			}
+			if res.FinishedAt != serial.FinishedAt {
+				t.Errorf("%v shards=%d finish time diverged: got %v want %v",
+					p, shards, res.FinishedAt, serial.FinishedAt)
+			}
+		}
+	}
+}
+
+// TestShardedGoldenFingerprints proves sharded runs reproduce the pinned
+// serial goldens exactly — not just self-consistency.
+func TestShardedGoldenFingerprints(t *testing.T) {
+	tr := smallTrace(t, 99)
+	for p, fp := range goldenFingerprints {
+		res, err := Run(RunConfig{Trace: tr, Protocol: p, Seed: 123, Shards: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Fingerprint != fp {
+			t.Errorf("%v sharded fingerprint drifted from golden:\n got  %s\n want %s",
+				p, res.Fingerprint, fp)
+		}
+	}
+}
+
+// TestShardedWithFeatures covers the feature axes that interact with
+// deferred dispatch: jitter (net RNG draws at merge), released state,
+// lossy recovery (drop RNG draws per crossing) and fail-stop crashes.
+func TestShardedWithFeatures(t *testing.T) {
+	tr := smallTrace(t, 7)
+	base := RunConfig{Trace: tr, Protocol: CESRM, Seed: 55, LossyRecovery: true, ReleaseRecovered: true}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 4
+	res, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != serial.Fingerprint {
+		t.Errorf("lossy+release sharded fingerprint diverged:\n got  %s\n want %s",
+			res.Fingerprint, serial.Fingerprint)
+	}
+}
+
+// TestShardedChaosEquality runs a restart-bearing chaos spec sharded and
+// serial; chaos faults are global (barrier) events, so equality must
+// hold under them too.
+func TestShardedChaosEquality(t *testing.T) {
+	tr := smallTrace(t, 3)
+	victim := tr.Tree.Receivers()[0]
+	spec, err := chaos.ParseSpec(fmt.Sprintf("crash@20s:host=%d;restart@40s:host=%d", victim, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RunConfig{Trace: tr, Protocol: SRM, Seed: 11, Chaos: spec}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 4
+	res, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != serial.Fingerprint {
+		t.Errorf("chaos sharded fingerprint diverged:\n got  %s\n want %s",
+			res.Fingerprint, serial.Fingerprint)
+	}
+}
+
+// TestShardedBudgetAbort pins the guardrail semantics under parallel
+// dispatch: a budget-aborted sharded run terminates with the same
+// status and a clock no earlier than serial (entries admitted into the
+// aborting batch finish; the clock never regresses), and the abort is
+// deterministic across sharded reruns.
+func TestShardedBudgetAbort(t *testing.T) {
+	tr := smallTrace(t, 99)
+	base := RunConfig{Trace: tr, Protocol: SRM, Seed: 123,
+		Budget: sim.Budget{MaxEvents: 50_000}}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Status != sim.EventBudgetExceeded {
+		t.Fatalf("serial status = %v, want EventBudgetExceeded", serial.Status)
+	}
+	sharded := base
+	sharded.Shards = 4
+	first, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != sim.EventBudgetExceeded {
+		t.Fatalf("sharded status = %v, want EventBudgetExceeded", first.Status)
+	}
+	if first.FinishedAt < serial.FinishedAt {
+		t.Errorf("sharded abort clock %v regressed below serial %v", first.FinishedAt, serial.FinishedAt)
+	}
+	second, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Fingerprint != first.Fingerprint || second.FinishedAt != first.FinishedAt {
+		t.Errorf("sharded budget abort not deterministic: %s@%v vs %s@%v",
+			first.Fingerprint, first.FinishedAt, second.Fingerprint, second.FinishedAt)
+	}
+}

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"testing"
+
+	"cesrm/internal/chaos"
 )
 
 // fingerprintV1 recomputes the retired v1 digest from a retained run.
@@ -139,5 +141,56 @@ func TestReleaseRecoveredIsFingerprintInert(t *testing.T) {
 				t.Fatalf("live cells %d exceed recorded peak %d", on.Collector.PacketCells(), peak)
 			}
 		})
+	}
+}
+
+// TestCrashOnlyChaosReleaseInert pins the narrowed release gate: a
+// crash-only chaos spec (no restart) releases recovered state mid-run —
+// peak live cells stay well below the retained run's — while the
+// fingerprint is byte-identical with release on or off. A spec
+// containing a restart must keep the gate closed: a restarted host
+// re-recovers everything, so nothing may be discarded.
+func TestCrashOnlyChaosReleaseInert(t *testing.T) {
+	tr := smallTrace(t, 31)
+	victim := tr.Tree.Receivers()[0]
+	crashOnly, err := chaos.ParseSpec(fmt.Sprintf("crash@30s:host=%d", victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 17, Chaos: crashOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 17, Chaos: crashOnly, ReleaseRecovered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Fingerprint != off.Fingerprint {
+		t.Fatalf("release under crash-only chaos changed the fingerprint:\n on  %s\n off %s",
+			on.Fingerprint, off.Fingerprint)
+	}
+	peak, total := on.Collector.PeakPacketCells(), off.Collector.PeakPacketCells()
+	if peak == 0 {
+		t.Fatal("release-on run recorded no per-packet cells")
+	}
+	if peak >= total/2 {
+		t.Fatalf("crash-only chaos did not release: peak cells %d vs retained %d", peak, total)
+	}
+
+	withRestart, err := chaos.ParseSpec(fmt.Sprintf("crash@30s:host=%d;restart@60s:host=%d", victim, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 17, Chaos: withRestart, ReleaseRecovered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldOff, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 17, Chaos: withRestart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.Collector.PeakPacketCells() != heldOff.Collector.PeakPacketCells() {
+		t.Fatalf("restart spec must suppress release: peak %d (release on) vs %d (off)",
+			held.Collector.PeakPacketCells(), heldOff.Collector.PeakPacketCells())
 	}
 }

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// TestLargeTreeBeyondHopMatrix runs a tree past the 1024-node dense
+// hop-matrix cap end to end — the first committed workload to exercise
+// the topology LCA fallback (netsim RTT), the wide (>64 receiver)
+// loss-inference path and the subtree partitioner at four-digit host
+// counts — and pins that sharded dispatch stays byte-identical to
+// serial there too.
+func TestLargeTreeBeyondHopMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates ~1100 hosts")
+	}
+	tr, err := trace.Generate(trace.GenSpec{
+		Name:         "wide1100",
+		Topology:     topology.GenSpec{Receivers: 1100, Depth: 6},
+		NumPackets:   30,
+		Period:       40 * time.Millisecond,
+		TargetLosses: 800,
+		Seed:         63,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Tree.NumNodes(); n <= 1024 {
+		t.Fatalf("tree has %d nodes, want > 1024 to bypass the hop matrix", n)
+	}
+	serial, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Fingerprint == "" {
+		t.Fatal("empty fingerprint")
+	}
+	for _, shards := range []int{8} {
+		res, err := Run(RunConfig{Trace: tr, Protocol: CESRM, Seed: 9, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fingerprint != serial.Fingerprint {
+			t.Fatalf("shards=%d fingerprint %s, serial %s", shards, res.Fingerprint, serial.Fingerprint)
+		}
+	}
+}

@@ -96,8 +96,8 @@ type pendingNAK struct {
 type Agent struct {
 	id     topology.NodeID
 	source topology.NodeID
-	eng    *sim.Engine
-	net    *netsim.Network
+	eng    sim.Sched
+	net    netsim.Endpoint
 	fabric *Fabric
 	cfg    Config
 	obs    srm.Observer
@@ -134,7 +134,7 @@ var _ netsim.Host = (*Agent)(nil)
 
 // NewAgent constructs an LMS endpoint at node id and registers it with
 // the network. obs may be nil.
-func NewAgent(eng *sim.Engine, net *netsim.Network, fabric *Fabric, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
+func NewAgent(eng sim.Sched, net netsim.Endpoint, fabric *Fabric, id topology.NodeID, cfg Config, obs srm.Observer) (*Agent, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -50,7 +50,8 @@ type Attribution struct {
 
 // NewAttribution prepares attribution over the tree with the given link
 // rates. Trees with more than 64 receivers are rejected (patterns are
-// bitmasks, matching the scale of the paper's 17-host traces).
+// bitmasks, matching the scale of the paper's 17-host traces); Infer
+// routes such trees through the equivalent wide-pattern DP instead.
 func NewAttribution(tree *topology.Tree, rates LinkRates) (*Attribution, error) {
 	if tree.NumReceivers() > 64 {
 		return nil, fmt.Errorf("lossinfer: %d receivers exceed the 64-receiver pattern limit", tree.NumReceivers())
@@ -209,8 +210,13 @@ type Result struct {
 }
 
 // Infer computes the link trace representation for t using the given
-// rates (typically EstimateYajnik(t)).
+// rates (typically EstimateYajnik(t)). Traces up to 64 receivers take
+// the uint64 bitmask fast path; wider ones the equivalent count-based
+// DP (widepattern.go).
 func Infer(t *trace.Trace, rates LinkRates) (*Result, error) {
+	if t.Tree.NumReceivers() > 64 {
+		return inferWide(t, rates)
+	}
 	attr, err := NewAttribution(t.Tree, rates)
 	if err != nil {
 		return nil, err

@@ -53,16 +53,20 @@ func reachCounts(t *trace.Trace) []int {
 	tree := t.Tree
 	seen := make([]int, tree.NumNodes())
 	n := t.NumPackets()
+	// Walk up from each receiving receiver, marking ancestors. The
+	// visited set is an epoch-stamped slice rather than a per-packet map
+	// so wide traces (10k+ receivers) stay cheap.
+	marked := make([]int, tree.NumNodes())
+	for i := range marked {
+		marked[i] = -1
+	}
 	for i := 0; i < n; i++ {
-		// Walk up from each receiving receiver, marking ancestors. Use a
-		// visited set per packet to stay linear.
-		marked := make(map[topology.NodeID]bool)
 		for ri, r := range tree.Receivers() {
 			if t.Lost(ri, i) {
 				continue
 			}
-			for n := r; n != topology.None && !marked[n]; n = tree.Parent(n) {
-				marked[n] = true
+			for n := r; n != topology.None && marked[n] != i; n = tree.Parent(n) {
+				marked[n] = i
 				seen[n]++
 			}
 		}

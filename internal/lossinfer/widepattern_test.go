@@ -1,0 +1,111 @@
+package lossinfer
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cesrm/internal/topology"
+	"cesrm/internal/trace"
+)
+
+// TestWideMatchesNarrowOnSmallTraces is the equivalence proof for the
+// wide-pattern DP: on traces within the 64-receiver bitmask limit,
+// inferWide must reproduce the narrow path's selections, probabilities
+// and pattern counts exactly — same DP, two pattern representations.
+func TestWideMatchesNarrowOnSmallTraces(t *testing.T) {
+	for _, seed := range []int64{3, 17, 92} {
+		tr := trace.MustGenerate(trace.GenSpec{
+			Name:         "wide-vs-narrow",
+			Topology:     topology.GenSpec{Receivers: 11, Depth: 5},
+			NumPackets:   4000,
+			Period:       40 * time.Millisecond,
+			TargetLosses: 1500,
+			Seed:         seed,
+		})
+		rates := EstimateYajnik(tr)
+		narrow, err := Infer(tr, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := inferWide(tr, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide.DistinctPatterns != narrow.DistinctPatterns {
+			t.Fatalf("seed %d: %d distinct patterns wide, %d narrow", seed, wide.DistinctPatterns, narrow.DistinctPatterns)
+		}
+		if len(wide.SelectedProbs) != len(narrow.SelectedProbs) {
+			t.Fatalf("seed %d: %d probs wide, %d narrow", seed, len(wide.SelectedProbs), len(narrow.SelectedProbs))
+		}
+		for i := range wide.SelectedProbs {
+			if math.Abs(wide.SelectedProbs[i]-narrow.SelectedProbs[i]) > 1e-12 {
+				t.Fatalf("seed %d: prob %d = %v wide, %v narrow", seed, i, wide.SelectedProbs[i], narrow.SelectedProbs[i])
+			}
+		}
+		for i := range wide.Drops {
+			if !equalLinkSets(wide.Drops[i], narrow.Drops[i]) {
+				t.Fatalf("seed %d packet %d: drops %v wide, %v narrow", seed, i, wide.Drops[i], narrow.Drops[i])
+			}
+		}
+	}
+}
+
+// TestInferWideTrace pushes a trace past the bitmask limit end to end:
+// Infer must route it through the wide path and every selected
+// combination must reproduce its packet's loss pattern exactly.
+func TestInferWideTrace(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name:         "wide",
+		Topology:     topology.GenSpec{Receivers: 150, Depth: 6},
+		NumPackets:   1500,
+		Period:       40 * time.Millisecond,
+		TargetLosses: 6000,
+		Seed:         41,
+	})
+	if tr.NumReceivers() <= 64 {
+		t.Fatalf("trace has %d receivers, want > 64", tr.NumReceivers())
+	}
+	res, err := Infer(tr, EstimateYajnik(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Tree.Root()
+	lossy := 0
+	var lost []int
+	for i := 0; i < tr.NumPackets(); i++ {
+		lost = tr.LostReceivers(i, lost[:0])
+		if (res.Drops[i] == nil) != (len(lost) == 0) {
+			t.Fatalf("packet %d: drops/pattern mismatch", i)
+		}
+		if len(lost) > 0 {
+			lossy++
+		}
+		for ri, r := range tr.Tree.Receivers() {
+			below := false
+			for _, l := range tr.Tree.PathLinks(root, r) {
+				for _, d := range res.Drops[i] {
+					if l == d {
+						below = true
+					}
+				}
+			}
+			if below != tr.Lost(ri, i) {
+				t.Fatalf("packet %d receiver %d: selected combination does not reproduce the loss pattern", i, ri)
+			}
+		}
+	}
+	if len(res.SelectedProbs) != lossy {
+		t.Fatalf("SelectedProbs has %d entries, want %d", len(res.SelectedProbs), lossy)
+	}
+	if res.DistinctPatterns <= 0 {
+		t.Fatal("no distinct patterns recorded")
+	}
+	acc, err := GroundTruthAccuracy(tr, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("ground-truth accuracy %.2f below sanity floor on a wide trace", acc)
+	}
+}

@@ -189,6 +189,27 @@ func (c CrossingCounts) RecoveryTotal() uint64 {
 		c.ControlMulticast + c.ControlSubcast + c.ControlUnicast
 }
 
+// Endpoint is the network surface the protocol agents hold: the
+// *Network itself in serial runs, or a shard-local *Port in sharded
+// runs. A Port defers sends issued inside a parallel region so they
+// commit in deterministic dispatch order; every read it exposes is
+// immutable, so the two implementations are observationally identical.
+type Endpoint interface {
+	// Tree returns the underlying topology.
+	Tree() *topology.Tree
+	// RTT returns the round-trip control-plane latency between two nodes.
+	RTT(a, b topology.NodeID) time.Duration
+	// AttachHost registers the protocol agent at node id.
+	AttachHost(id topology.NodeID, h Host)
+	// Multicast sends p from host from to the entire group.
+	Multicast(from topology.NodeID, p *Packet)
+	// Unicast sends p from host from to host to along the tree path.
+	Unicast(from, to topology.NodeID, p *Packet)
+	// UnicastThenSubcast sends p point-to-point to router via, which
+	// subcasts it down its subtree (§3.3).
+	UnicastThenSubcast(from, via topology.NodeID, p *Packet)
+}
+
 // Network simulates the tree. Construct with New.
 type Network struct {
 	eng  *sim.Engine
@@ -234,10 +255,19 @@ type Network struct {
 	visitGen uint64
 	stack    []floodVisit
 
-	// freeDeliveries and freeHops pool the reusable event structs that
+	// deliveryPools and freeHops pool the reusable event structs that
 	// replaced the closure-per-delivery and closure-per-hop allocations.
-	freeDeliveries []*deliveryEvent
-	freeHops       []*hopEvent
+	// Deliveries are pooled per shard (index shard+1; index 0 is the
+	// global pool used when sharding is off): a delivery event fires on
+	// its shard's worker and recycles itself there, so each pool is only
+	// ever touched by one goroutine at a time. Hop events stay in the
+	// global pool — the queuing path dispatches serially.
+	deliveryPools [][]*deliveryEvent
+	freeHops      []*hopEvent
+
+	// shardOf maps each node to its dispatch shard (sim.GlobalShard when
+	// unassigned); nil until SetShards, so serial runs pay nothing.
+	shardOf []int32
 
 	counts CrossingCounts
 }
@@ -259,6 +289,8 @@ func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
 		txControl: serializeTime(cfg.ControlBytes, cfg.Bandwidth),
 		visited:   make([]uint64, tree.NumNodes()),
 		stack:     make([]floodVisit, 0, tree.NumNodes()),
+
+		deliveryPools: make([][]*deliveryEvent, 1),
 	}
 	if cfg.Queuing {
 		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
@@ -287,6 +319,35 @@ func (n *Network) AttachHost(id topology.NodeID, h Host) {
 
 // SetDropFunc installs the loss-injection hook.
 func (n *Network) SetDropFunc(fn DropFunc) { n.drop = fn }
+
+// SetShards installs the node→shard map used to label delivery events
+// for sharded dispatch (see sim.EnableSharding), sized NumNodes with
+// sim.GlobalShard for unassigned nodes. Labels only affect which events
+// may share a parallel batch, never their dispatch order, so a sharded
+// and an unsharded network produce byte-identical runs.
+func (n *Network) SetShards(shardOf []int32) {
+	if len(shardOf) != n.tree.NumNodes() {
+		panic("netsim: SetShards map size does not match topology")
+	}
+	maxShard := int32(-1)
+	for _, s := range shardOf {
+		if s > maxShard {
+			maxShard = s
+		}
+	}
+	n.shardOf = shardOf
+	for int32(len(n.deliveryPools)) < maxShard+2 {
+		n.deliveryPools = append(n.deliveryPools, nil)
+	}
+}
+
+// shard returns the dispatch shard owning node.
+func (n *Network) shard(node topology.NodeID) int32 {
+	if n.shardOf == nil {
+		return sim.GlobalShard
+	}
+	return n.shardOf[node]
+}
 
 // SetDupFunc installs the duplicate-delivery hook.
 func (n *Network) SetDupFunc(fn DupFunc) { n.dup = fn }
@@ -461,42 +522,49 @@ type deliveryEvent struct {
 	n    *Network
 	host Host
 	pkt  *Packet
+	// shard is the delivery's dispatch shard, fixing which pool the
+	// record recycles into: a labeled delivery fires on its shard's
+	// worker, where only that shard's pool is safe to touch.
+	shard int32
 }
 
 func (d *deliveryEvent) Fire(now sim.Time) {
 	n, host, pkt := d.n, d.host, d.pkt
 	d.host, d.pkt = nil, nil
-	n.freeDeliveries = append(n.freeDeliveries, d)
+	pool := &n.deliveryPools[d.shard+1]
+	*pool = append(*pool, d)
 	host.Deliver(now, pkt)
 }
 
-// scheduleDelivery registers delivery of p to h at the given instant
-// using a pooled event, consulting the duplicate-injection hook for a
-// possible second, later copy. Delivery events hold no Timer and are
-// never cancelled, so recycling on fire is safe.
-func (n *Network) scheduleDelivery(at sim.Time, h Host, p *Packet) {
-	n.scheduleDeliveryOnce(at, h, p)
+// scheduleDelivery registers delivery of p to the host at node at the
+// given instant using a pooled event, consulting the duplicate-injection
+// hook for a possible second, later copy. Delivery events hold no Timer
+// and are never cancelled, so recycling on fire is safe.
+func (n *Network) scheduleDelivery(at sim.Time, node topology.NodeID, h Host, p *Packet) {
+	shard := n.shard(node)
+	n.scheduleDeliveryOnce(at, shard, h, p)
 	if n.dup != nil {
 		if extra, dup := n.dup(p, at); dup {
 			if extra < 0 {
 				extra = 0
 			}
-			n.scheduleDeliveryOnce(at.Add(extra), h, p)
+			n.scheduleDeliveryOnce(at.Add(extra), shard, h, p)
 		}
 	}
 }
 
-func (n *Network) scheduleDeliveryOnce(at sim.Time, h Host, p *Packet) {
+func (n *Network) scheduleDeliveryOnce(at sim.Time, shard int32, h Host, p *Packet) {
 	var d *deliveryEvent
-	if k := len(n.freeDeliveries); k > 0 {
-		d = n.freeDeliveries[k-1]
-		n.freeDeliveries[k-1] = nil
-		n.freeDeliveries = n.freeDeliveries[:k-1]
+	pool := &n.deliveryPools[shard+1]
+	if k := len(*pool); k > 0 {
+		d = (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
 	} else {
 		d = &deliveryEvent{n: n}
 	}
-	d.host, d.pkt = h, p
-	n.eng.ScheduleHandlerAt(at, d)
+	d.host, d.pkt, d.shard = h, p, shard
+	n.eng.ScheduleHandlerAtShard(at, d, shard)
 }
 
 // flood walks the tree outward from origin. downOnly restricts the walk
@@ -527,7 +595,7 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 		stack = stack[:len(stack)-1]
 		if v.node != origin {
 			if h, ok := n.hosts[v.node]; ok {
-				n.scheduleDelivery(now.Add(time.Duration(v.hops)*perHop+n.jitter()), h, p)
+				n.scheduleDelivery(now.Add(time.Duration(v.hops)*perHop+n.jitter()), v.node, h, p)
 			}
 		}
 		for _, next := range n.tree.Children(v.node) {
@@ -661,7 +729,7 @@ func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
 		cur = next
 	}
 	if h, ok := n.hosts[to]; ok && to != from {
-		n.scheduleDelivery(at.Add(n.jitter()), h, p)
+		n.scheduleDelivery(at.Add(n.jitter()), to, h, p)
 	}
 }
 
@@ -734,4 +802,3 @@ func (n *Network) hopArrival(link topology.LinkID, down bool, at sim.Time, p *Pa
 	n.busyUntil[dir][link] = finish
 	return finish.Add(n.cfg.LinkDelay)
 }
-

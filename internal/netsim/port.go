@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// Port is the shard-local Endpoint handle agents hold in sharded runs.
+// Reads (Tree, RTT) pass straight through — they touch only immutable
+// topology. Sends issued inside a parallel region are deferred through
+// the shard's op log, so packet IDs are assigned, drop/jitter/duplicate
+// randomness is drawn, and crossings are counted at merge time, in
+// exactly the order the serial engine would have produced; outside a
+// region (setup, barrier events) sends execute immediately.
+type Port struct {
+	n  *Network
+	sh *sim.Shard
+}
+
+// NewPort returns the Endpoint handle binding the network to one shard.
+func NewPort(n *Network, sh *sim.Shard) *Port {
+	if sh == nil {
+		panic("netsim: NewPort with nil shard")
+	}
+	return &Port{n: n, sh: sh}
+}
+
+// Tree returns the underlying topology.
+func (p *Port) Tree() *topology.Tree { return p.n.tree }
+
+// RTT returns the round-trip control-plane latency between two nodes.
+func (p *Port) RTT(a, b topology.NodeID) time.Duration { return p.n.RTT(a, b) }
+
+// AttachHost registers the protocol agent at node id. Attachment happens
+// during setup, before any parallel region.
+func (p *Port) AttachHost(id topology.NodeID, h Host) { p.n.AttachHost(id, h) }
+
+// Multicast sends pkt from host from to the entire group, deferred to
+// the merge when issued inside a parallel region.
+func (p *Port) Multicast(from topology.NodeID, pkt *Packet) {
+	if !p.sh.Buffering() {
+		p.n.Multicast(from, pkt)
+		return
+	}
+	n := p.n
+	p.sh.Defer(func() { n.Multicast(from, pkt) })
+}
+
+// Unicast sends pkt from host from to host to along the tree path,
+// deferred to the merge when issued inside a parallel region.
+func (p *Port) Unicast(from, to topology.NodeID, pkt *Packet) {
+	if !p.sh.Buffering() {
+		p.n.Unicast(from, to, pkt)
+		return
+	}
+	n := p.n
+	p.sh.Defer(func() { n.Unicast(from, to, pkt) })
+}
+
+// UnicastThenSubcast sends pkt point-to-point to router via, which
+// subcasts it down its subtree, deferred to the merge when issued
+// inside a parallel region.
+func (p *Port) UnicastThenSubcast(from, via topology.NodeID, pkt *Packet) {
+	if !p.sh.Buffering() {
+		p.n.UnicastThenSubcast(from, via, pkt)
+		return
+	}
+	n := p.n
+	p.sh.Defer(func() { n.UnicastThenSubcast(from, via, pkt) })
+}

@@ -143,7 +143,7 @@ func (e *Engine) admit(ev *scheduledEvent) bool {
 	default:
 		return true
 	}
-	e.stopped = true
+	e.stopped.Store(true)
 	return false
 }
 

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// propRun drives one random event script on an engine and returns the
+// observed dispatch log. Each of `hosts` synthetic hosts owns a Sched
+// handle (a Shard on sharded engines, the engine itself serially), a
+// private RNG, and a list of its live timers; every event appends a
+// (host, per-host counter, now) record through the host's deferral
+// surface, optionally cancels one of the host's own timers, and
+// schedules depth-bounded children with delays drawn from a small set
+// so many events collide at the same instant across hosts.
+func propRun(seed int64, hosts, shards int) []string {
+	e := NewEngine()
+	var shs []*Shard
+	if shards > 1 {
+		shs = e.EnableSharding(shards)
+	}
+
+	var log []string
+	type host struct {
+		sch    Sched
+		sh     *Shard
+		rng    *rand.Rand
+		count  int
+		timers []Timer
+	}
+	hs := make([]*host, hosts)
+	for i := range hs {
+		h := &host{rng: rand.New(rand.NewSource(seed + int64(i)))}
+		if shs != nil {
+			h.sh = shs[i%len(shs)]
+			h.sch = h.sh
+		} else {
+			h.sch = e
+		}
+		hs[i] = h
+	}
+	record := func(h int, entry string) {
+		if sh := hs[h].sh; sh != nil {
+			sh.Defer(func() { log = append(log, entry) })
+			return
+		}
+		log = append(log, entry)
+	}
+
+	delays := []Duration{0, 0, time.Millisecond, time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond}
+	var fire func(h, depth int) Event
+	fire = func(h, depth int) Event {
+		return func(now Time) {
+			hh := hs[h]
+			hh.count++
+			record(h, fmt.Sprintf("h%d#%d@%v", h, hh.count, now))
+			// Cancel one of this host's own timers sometimes; stale
+			// handles (already fired) exercise the inert path.
+			if len(hh.timers) > 0 && hh.rng.Intn(3) == 0 {
+				idx := hh.rng.Intn(len(hh.timers))
+				hh.sch.Cancel(hh.timers[idx])
+				hh.timers[idx] = hh.timers[len(hh.timers)-1]
+				hh.timers = hh.timers[:len(hh.timers)-1]
+			}
+			if depth >= 5 {
+				return
+			}
+			for k := hh.rng.Intn(3); k > 0; k-- {
+				d := delays[hh.rng.Intn(len(delays))]
+				t := hh.sch.Schedule(d, fire(h, depth+1))
+				if hh.rng.Intn(2) == 0 {
+					hh.timers = append(hh.timers, t)
+				}
+			}
+		}
+	}
+	for i := range hs {
+		// Seed several same-instant roots per host so the very first
+		// instants already form cross-shard batches.
+		for r := 0; r < 3; r++ {
+			hs[i].sch.Schedule(Duration(r)*time.Millisecond, fire(i, 0))
+		}
+	}
+	e.Run()
+	return log
+}
+
+// TestShardedDispatchOrderProperty is the engine-level half of the
+// byte-identical contract: over random event scripts — same-instant
+// collisions, chained schedules, self-cancels, stale cancels — the
+// sharded engine's observable dispatch log equals the serial engine's
+// exactly, for several shard counts.
+func TestShardedDispatchOrderProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		want := propRun(seed, 8, 0)
+		for _, shards := range []int{2, 3, 8} {
+			got := propRun(seed, 8, shards)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d shards %d: %d events, serial %d", seed, shards, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shards %d: dispatch %d = %s, serial %s", seed, shards, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSameInstantCancel pins the cancel interplay inside one
+// batch: a lower-seq event cancelling a same-instant same-shard peer
+// prevents it from firing; a higher-seq event cancelling an
+// already-fired peer is inert. Both must match serial exactly.
+func TestShardedSameInstantCancel(t *testing.T) {
+	run := func(shards int) []string {
+		e := NewEngine()
+		var s0, s1 Sched = e, e
+		var shs []*Shard
+		if shards > 1 {
+			shs = e.EnableSharding(shards)
+			s0, s1 = shs[0], shs[1]
+		}
+		var log []string
+		rec := func(sh *Shard, s string) func() {
+			return func() {
+				if sh != nil {
+					sh.Defer(func() { log = append(log, s) })
+				} else {
+					log = append(log, s)
+				}
+			}
+		}
+		var sh0, sh1 *Shard
+		if shs != nil {
+			sh0, sh1 = shs[0], shs[1]
+		}
+		var victim, early Timer
+		// seq order at t=1ms: killer(0), victim(1), lateCancel(2) — plus
+		// early(seq below killer) which fires before any of them.
+		early = s1.Schedule(time.Millisecond, func(Time) { rec(sh1, "early")() })
+		killer := func(Time) {
+			rec(sh0, "killer")()
+			s0.Cancel(victim) // same shard, same instant, not yet fired
+		}
+		s0.Schedule(time.Millisecond, killer)
+		victim = s0.Schedule(time.Millisecond, func(Time) { rec(sh0, "victim")() })
+		s1.Schedule(time.Millisecond, func(Time) {
+			rec(sh1, "late")()
+			s1.Cancel(early) // already fired: must be inert
+		})
+		// A filler on shard 1 keeps the batch spanning two shards.
+		s1.Schedule(time.Millisecond, func(Time) { rec(sh1, "filler")() })
+		e.Run()
+		return log
+	}
+	want := run(0)
+	got := run(2)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("sharded log %v, serial %v", got, want)
+	}
+	for _, s := range want {
+		if s == "victim" {
+			t.Fatalf("victim fired despite same-instant cancel: %v", want)
+		}
+	}
+}
+
+// TestShardedMidBatchStop pins the defined Stop semantics under
+// parallel dispatch: every event admitted into the batch that contains
+// the Stop still fires, nothing scheduled later runs, and the clock
+// rests at the batch instant.
+func TestShardedMidBatchStop(t *testing.T) {
+	e := NewEngine()
+	shs := e.EnableSharding(2)
+	fired := make(map[string]bool)
+	mark := func(sh *Shard, s string) Event {
+		return func(Time) { sh.Defer(func() { fired[s] = true }) }
+	}
+	shs[0].Schedule(time.Millisecond, func(now Time) {
+		shs[0].Defer(func() { fired["stopper"] = true })
+		e.Stop()
+	})
+	shs[0].Schedule(time.Millisecond, mark(shs[0], "peer0"))
+	shs[1].Schedule(time.Millisecond, mark(shs[1], "peer1"))
+	shs[1].Schedule(2*time.Millisecond, mark(shs[1], "later"))
+	end := e.Run()
+	for _, s := range []string{"stopper", "peer0", "peer1"} {
+		if !fired[s] {
+			t.Errorf("admitted batch member %q did not fire before Stop took effect", s)
+		}
+	}
+	if fired["later"] {
+		t.Error("event after the stopping batch fired")
+	}
+	if end != Time(time.Millisecond) {
+		t.Errorf("clock = %v, want the stopping batch's instant %v", end, Time(time.Millisecond))
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (the later event stays queued)", e.Pending())
+	}
+}
+
+// TestShardedBudgetTruncatesBatch pins mid-batch budget admission: with
+// MaxEvents hit inside a same-instant batch, the admitted prefix fires
+// (in seq order), the rest stays queued, and status/clock match the
+// serial engine's exactly.
+func TestShardedBudgetTruncatesBatch(t *testing.T) {
+	run := func(shards int) (fired []string, end Time, status TerminationStatus, pending int) {
+		e := NewEngine()
+		var s0, s1 Sched = e, e
+		var shs []*Shard
+		if shards > 1 {
+			shs = e.EnableSharding(shards)
+			s0, s1 = shs[0], shs[1]
+		}
+		rec := func(i int, s string) Event {
+			return func(Time) {
+				if shs != nil {
+					shs[i].Defer(func() { fired = append(fired, s) })
+				} else {
+					fired = append(fired, s)
+				}
+			}
+		}
+		e.SetBudget(Budget{MaxEvents: 3})
+		s0.Schedule(time.Millisecond, rec(0, "a"))
+		s1.Schedule(time.Millisecond, rec(1, "b"))
+		s0.Schedule(time.Millisecond, rec(0, "c"))
+		s1.Schedule(time.Millisecond, rec(1, "d"))
+		s0.Schedule(time.Millisecond, rec(0, "e"))
+		end = e.Run()
+		return fired, end, e.Termination(), e.Pending()
+	}
+	wf, we, ws, wp := run(0)
+	gf, ge, gs, gp := run(2)
+	if fmt.Sprint(gf) != fmt.Sprint(wf) || ge != we || gs != ws || gp != wp {
+		t.Fatalf("sharded (%v, %v, %v, %d) != serial (%v, %v, %v, %d)",
+			gf, ge, gs, gp, wf, we, ws, wp)
+	}
+	if ws != EventBudgetExceeded || len(wf) != 3 || wp != 2 {
+		t.Fatalf("serial reference unexpected: fired=%v status=%v pending=%d", wf, ws, wp)
+	}
+}

@@ -26,6 +26,8 @@ package sim
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -104,8 +106,18 @@ type scheduledEvent struct {
 	h   EventHandler // non-nil exactly when fn is nil
 	// gen counts how many times this record has been recycled. A Timer
 	// captures the generation at scheduling time; any mismatch means the
-	// record now belongs to a different event.
-	gen uint64
+	// record now belongs to a different event. It is atomic because a
+	// stale Timer held by one shard may probe a record that has since
+	// been recycled to another shard, whose worker bumps the generation
+	// concurrently; the uncontended atomic costs nothing measurable on
+	// the serial path.
+	gen atomic.Uint64
+	// shard labels the event with the subtree shard that owns it, or
+	// GlobalShard for events that may touch cross-shard state and must
+	// dispatch alone (a batch barrier). Labels are advisory: serial
+	// dispatch of labeled events is always correct, so RunUntil, Step and
+	// the sharded loop's serial fallback need no special cases.
+	shard int32
 
 	prev, next *scheduledEvent
 	in         *evList // the list currently holding the record, nil when free
@@ -125,10 +137,23 @@ type evList struct {
 type Engine struct {
 	now     Time
 	nextSeq uint64
-	stopped bool
+	// stopped is atomic so that a handler running on a shard worker can
+	// call Stop mid-batch: the admitted batch still finishes (workers
+	// never consult the flag) and the dispatch loops observe it at their
+	// next boundary. Serial dispatch pays one uncontended atomic load per
+	// event.
+	stopped atomic.Bool
 	// executed counts events that have been dispatched, for diagnostics
 	// and run-away detection in tests.
 	executed uint64
+
+	// shards is non-empty once EnableSharding has been called; Run then
+	// uses the batch dispatch loop in shard.go. batch is the current
+	// same-instant batch under execution, reused across batches.
+	shards []*Shard
+	batch  []batchEntry
+	wg     sync.WaitGroup // joins the shard workers of the current batch
+	workCh chan *Shard    // nil except while the sharded loop runs its pool
 
 	// budget holds the optional guardrails (see Budget); budgetOn caches
 	// whether any bound is armed so the disabled case costs one branch
@@ -219,12 +244,16 @@ func (e *Engine) Pending() int { return e.live }
 type Timer struct {
 	ev  *scheduledEvent
 	gen uint64
+	// at is the scheduled instant, carried in the handle so that At never
+	// reads the record's mutable field (which a recycled record's new
+	// owner, possibly on another shard, may be rewriting).
+	at Time
 }
 
 // Active reports whether the timer is scheduled and has neither fired
 // nor been cancelled.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen
+	return t.ev != nil && t.ev.gen.Load() == t.gen
 }
 
 // At returns the instant the timer is scheduled to fire. The second
@@ -236,7 +265,7 @@ func (t Timer) At() (Time, bool) {
 	if !t.Active() {
 		return 0, false
 	}
-	return t.ev.at, true
+	return t.at, true
 }
 
 // alloc takes a recycled record from the free list (or allocates a fresh
@@ -258,6 +287,7 @@ func (e *Engine) alloc(at Time) *scheduledEvent {
 	ev.at = at
 	ev.seq = e.nextSeq
 	e.nextSeq++
+	ev.shard = GlobalShard
 	return ev
 }
 
@@ -265,7 +295,7 @@ func (e *Engine) alloc(at Time) *scheduledEvent {
 // Bumping the generation first makes every outstanding Timer for the old
 // occupancy inert before the record can be handed out again.
 func (e *Engine) release(ev *scheduledEvent) {
-	ev.gen++
+	ev.gen.Add(1)
 	ev.fn = nil
 	ev.h = nil
 	e.free = append(e.free, ev)
@@ -485,7 +515,7 @@ func (e *Engine) ScheduleAt(at Time, fn Event) Timer {
 	ev.fn = fn
 	e.place(ev)
 	e.live++
-	return Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, gen: ev.gen.Load(), at: at}
 }
 
 // Schedule registers fn to run after delay. Negative delays are clamped
@@ -509,7 +539,7 @@ func (e *Engine) ScheduleHandlerAt(at Time, h EventHandler) Timer {
 	ev.h = h
 	e.place(ev)
 	e.live++
-	return Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, gen: ev.gen.Load(), at: at}
 }
 
 // ScheduleHandler registers h.Fire to run after delay, clamping negative
@@ -528,7 +558,7 @@ func (e *Engine) ScheduleHandler(delay Duration, h EventHandler) Timer {
 // has been recycled for a newer event is likewise a no-op (the
 // generation check), so stale handles cannot kill live events.
 func (e *Engine) Cancel(t Timer) {
-	if t.ev == nil || t.ev.gen != t.gen {
+	if t.ev == nil || t.ev.gen.Load() != t.gen {
 		return
 	}
 	// A matching generation implies the record is currently scheduled
@@ -544,7 +574,7 @@ func (e *Engine) Cancel(t Timer) {
 // in the budget case the offending event stays queued and the clock
 // does not move.
 func (e *Engine) Step() bool {
-	if e.stopped || !e.ensureDue() {
+	if e.stopped.Load() || !e.ensureDue() {
 		return false
 	}
 	ev := e.due.head
@@ -576,8 +606,13 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue drains or Stop is called. It
-// returns the final virtual time.
+// returns the final virtual time. On an engine with sharding enabled it
+// uses the batch dispatch loop (see shard.go), which is byte-identical
+// to serial dispatch; otherwise it steps events one at a time.
 func (e *Engine) Run() Time {
+	if len(e.shards) > 1 {
+		return e.runSharded()
+	}
 	for e.Step() {
 	}
 	return e.now
@@ -588,27 +623,31 @@ func (e *Engine) Run() Time {
 // unless Stop was called, in which case it stays at the instant of the
 // last executed event — advancing a stopped engine past the stop point
 // would let a later resume schedule "before" events that logically
-// already happened.
+// already happened. RunUntil always dispatches serially: shard labels
+// are advisory, so this is correct (and identical) on sharded engines.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for !e.stopped {
+	for !e.stopped.Load() {
 		next, ok := e.peek()
 		if !ok || next.After(deadline) {
 			break
 		}
 		e.Step()
 	}
-	if !e.stopped && e.now.Before(deadline) {
+	if !e.stopped.Load() && e.now.Before(deadline) {
 		e.now = deadline
 	}
 	return e.now
 }
 
 // Stop halts the run loop after the currently executing event returns.
-// Remaining events are left in the queue.
-func (e *Engine) Stop() { e.stopped = true }
+// Remaining events are left in the queue. Under sharded dispatch a Stop
+// issued by a handler mid-batch lets the rest of the admitted batch
+// finish (its events were already committed to this instant) and takes
+// effect at the next batch boundary; the clock never regresses.
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // Stopped reports whether Stop has been called.
-func (e *Engine) Stopped() bool { return e.stopped }
+func (e *Engine) Stopped() bool { return e.stopped.Load() }
 
 // peek reports the instant of the next live event.
 func (e *Engine) peek() (Time, bool) {

@@ -1,0 +1,61 @@
+package soak
+
+import (
+	"testing"
+
+	"cesrm/internal/experiment"
+	"cesrm/internal/sim"
+)
+
+// TestShardedFingerprintEqualityUnderChaos is the chaos half of the
+// sharded-dispatch byte-identical contract: over random trials from the
+// soak generator — random traces, protocols, seeds and always-valid
+// chaos schedules mixing crashes, restarts, link flaps, jitter ramps,
+// duplicate storms and starvation — a sharded run must terminate with
+// the same status as the serial run and, on completion, the same
+// fingerprint, for several shard counts.
+func TestShardedFingerprintEqualityUnderChaos(t *testing.T) {
+	gen, err := NewGenerator(99, []int{4, 13}, []experiment.Protocol{
+		experiment.SRM, experiment.CESRM, experiment.LMS,
+	}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := DefaultBudget()
+	for i := 0; i < 12; i++ {
+		trial, err := gen.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := gen.loader.load(trial.TraceIndex, trial.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := experiment.RunConfig{
+			Trace:    tr,
+			Protocol: trial.Protocol,
+			Chaos:    trial.Spec,
+			Budget:   budget,
+			Seed:     trial.Seed,
+		}
+		serial, err := experiment.Run(base)
+		if err != nil {
+			t.Fatalf("trial %v: %v", trial, err)
+		}
+		for _, shards := range []int{2, 8} {
+			cfg := base
+			cfg.Shards = shards
+			res, err := experiment.Run(cfg)
+			if err != nil {
+				t.Fatalf("trial %v shards=%d: %v", trial, shards, err)
+			}
+			if res.Status != serial.Status {
+				t.Fatalf("trial %v shards=%d: status %v, serial %v", trial, shards, res.Status, serial.Status)
+			}
+			if serial.Status == sim.Completed && res.Fingerprint != serial.Fingerprint {
+				t.Fatalf("trial %v shards=%d: fingerprint %s, serial %s",
+					trial, shards, res.Fingerprint, serial.Fingerprint)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package topology
+
+import "sort"
+
+// PartitionSubtrees splits the tree into at most n dispatch shards for
+// the sharded simulation mode: each of the root's child subtrees is
+// assigned wholly to one shard, subtrees are greedily bin-packed by
+// descending receiver count onto the least-loaded shard, and the root
+// itself lands on shard 0. Keeping every subtree intact means two nodes
+// in different shards can only interact through the root, which is
+// exactly the independence the same-instant batch dispatch relies on:
+// a packet in flight between shards is a scheduled delivery event, and
+// deliveries are labeled with the receiving node's shard.
+//
+// The result maps every node to its shard. Ties break on the lower
+// child NodeID, so the partition is a pure function of the tree. With
+// n < 2 (or a tree with a bare root) all nodes map to shard 0.
+func PartitionSubtrees(t *Tree, n int) []int32 {
+	shardOf := make([]int32, t.NumNodes())
+	roots := t.Children(t.Root())
+	if n < 2 || len(roots) == 0 {
+		return shardOf
+	}
+	if n > len(roots) {
+		n = len(roots)
+	}
+
+	// Weigh each subtree by its receiver count (the event population is
+	// dominated by per-receiver timers and deliveries); order by weight
+	// descending, NodeID ascending, for a deterministic greedy packing.
+	type subtree struct {
+		root   NodeID
+		weight int
+	}
+	subs := make([]subtree, len(roots))
+	for i, r := range roots {
+		subs[i] = subtree{root: r, weight: len(t.ReceiversBelow(r))}
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].weight != subs[j].weight {
+			return subs[i].weight > subs[j].weight
+		}
+		return subs[i].root < subs[j].root
+	})
+
+	loads := make([]int, n)
+	for _, sub := range subs {
+		best := 0
+		for s := 1; s < n; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		loads[best] += sub.weight
+		for _, node := range t.NodesBelow(sub.root) {
+			shardOf[node] = int32(best)
+		}
+	}
+	return shardOf
+}

@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"testing"
+
+	"cesrm/internal/sim"
+)
+
+// TestPartitionSubtrees pins the shard-partition invariants the sharded
+// dispatch mode relies on: subtree atomicity (a node always shares its
+// parent's shard unless the parent is the root), bounded shard count,
+// determinism, and the serial degenerate cases.
+func TestPartitionSubtrees(t *testing.T) {
+	tree := MustGenerate(sim.NewRNG(5), GenSpec{Receivers: 120, Depth: 5})
+
+	for _, n := range []int{0, 1} {
+		for node, s := range PartitionSubtrees(tree, n) {
+			if s != 0 {
+				t.Fatalf("n=%d: node %d on shard %d, want all on 0", n, node, s)
+			}
+		}
+	}
+
+	roots := tree.Children(tree.Root())
+	for _, n := range []int{2, 3, 8, len(roots) + 5} {
+		shardOf := PartitionSubtrees(tree, n)
+		if len(shardOf) != tree.NumNodes() {
+			t.Fatalf("n=%d: %d entries for %d nodes", n, len(shardOf), tree.NumNodes())
+		}
+		max := n
+		if len(roots) < max {
+			max = len(roots)
+		}
+		used := make(map[int32]bool)
+		for node := 0; node < tree.NumNodes(); node++ {
+			s := shardOf[node]
+			if s < 0 || int(s) >= max {
+				t.Fatalf("n=%d: node %d on shard %d, want [0,%d)", n, node, s, max)
+			}
+			used[s] = true
+			p := tree.Parent(NodeID(node))
+			if p != None && p != tree.Root() && shardOf[p] != s {
+				t.Fatalf("n=%d: node %d on shard %d but parent %d on shard %d — subtree split",
+					n, node, s, p, shardOf[p])
+			}
+		}
+		if len(used) != max {
+			t.Fatalf("n=%d: only %d of %d shards carry nodes", n, len(used), max)
+		}
+	}
+
+	a := PartitionSubtrees(tree, 4)
+	b := PartitionSubtrees(MustGenerate(sim.NewRNG(5), GenSpec{Receivers: 120, Depth: 5}), 4)
+	for node := range a {
+		if a[node] != b[node] {
+			t.Fatalf("node %d shard differs across identical trees: %d vs %d", node, a[node], b[node])
+		}
+	}
+}

@@ -45,6 +45,17 @@ var Catalog = []CatalogEntry{
 	{14, "WRN951218", 8, 3, 80 * time.Millisecond, 69994, 43578, 9614},
 }
 
+// Extended lists synthetic stress entries beyond the paper's Table 1.
+// They are deliberately kept out of Catalog: suites, goldens and the
+// "all traces" defaults stay pinned to the 14 paper traces, and the
+// extended entries are opt-in by name or explicit index. SYN10K is the
+// "tens of thousands of receivers" workload (ROADMAP item 1): its tree
+// exceeds the 1024-node dense hop-matrix cap, so runs take the LCA
+// fallback and the wide (>64 receiver) loss-pattern paths throughout.
+var Extended = []CatalogEntry{
+	{15, "SYN10K", 10000, 8, 40 * time.Millisecond, 5000, 1500000, 9615},
+}
+
 // Spec derives the generation spec for the entry, with packet and loss
 // counts scaled by the positive dimensionless factor scale. Scaling
 // preserves loss rates and burst structure; scale 1 reproduces the full
@@ -92,9 +103,15 @@ func LoadCatalog(scale float64) ([]*Trace, error) {
 	return out, nil
 }
 
-// ByName returns the catalog entry with the given name.
+// ByName returns the catalog entry with the given name, searching the
+// Table 1 catalog first and then the extended stress entries.
 func ByName(name string) (CatalogEntry, bool) {
 	for _, e := range Catalog {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	for _, e := range Extended {
 		if e.Name == name {
 			return e, true
 		}

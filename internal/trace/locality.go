@@ -89,23 +89,29 @@ func AnalyzeLocality(t *Trace) LocalityStats {
 		s.MeanBurstLen = float64(burstLossTotal) / float64(bursts)
 	}
 
-	// Pattern repetition across consecutive lossy packets.
-	var prev uint64
-	havePrev := false
+	// Pattern repetition across consecutive lossy packets. Columns are
+	// compared directly rather than through LossPattern bitmasks so the
+	// statistic works at any receiver count.
+	prev := -1
 	var lossyPairs, samePattern int
 	for i := 0; i < n; i++ {
-		p := t.LossPattern(i)
-		if p == 0 {
+		lossy := false
+		for r := range t.Loss {
+			if t.Loss[r][i] {
+				lossy = true
+				break
+			}
+		}
+		if !lossy {
 			continue
 		}
-		if havePrev {
+		if prev >= 0 {
 			lossyPairs++
-			if p == prev {
+			if sameLossColumn(t, prev, i) {
 				samePattern++
 			}
 		}
-		prev = p
-		havePrev = true
+		prev = i
 	}
 	if lossyPairs > 0 {
 		s.PatternRepeat = float64(samePattern) / float64(lossyPairs)
@@ -147,6 +153,17 @@ func (s *LocalityStats) addBurst(run int) {
 		run = MaxBurstBucket
 	}
 	s.BurstLens[run]++
+}
+
+// sameLossColumn reports whether packets i and j were lost by exactly
+// the same receiver set.
+func sameLossColumn(t *Trace, i, j int) bool {
+	for r := range t.Loss {
+		if t.Loss[r][i] != t.Loss[r][j] {
+			return false
+		}
+	}
+	return true
 }
 
 // responsibleLink finds the drop link on the receiver's path, or None.

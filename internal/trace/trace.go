@@ -119,10 +119,14 @@ func (t *Trace) ReceiverLosses(r int) int {
 }
 
 // LossPattern returns the set of receiver indices that lost packet i,
-// encoded as a bitmask (receiver counts in the catalog are <= 17, and
-// the package rejects trees with more than 63 receivers at generation
-// time). A zero pattern means nobody lost the packet.
+// encoded as a bitmask. A zero pattern means nobody lost the packet.
+// It is the fast path for the paper-scale traces (<= 17 receivers) and
+// panics beyond 64 receivers, where a bitmask would silently drop
+// bits; wide traces use LostReceivers instead.
 func (t *Trace) LossPattern(i int) uint64 {
+	if len(t.Loss) > 64 {
+		panic(fmt.Sprintf("trace %q: LossPattern on %d receivers (> 64); use LostReceivers", t.Name, len(t.Loss)))
+	}
 	var p uint64
 	for r := range t.Loss {
 		if t.Loss[r][i] {
@@ -130,6 +134,18 @@ func (t *Trace) LossPattern(i int) uint64 {
 		}
 	}
 	return p
+}
+
+// LostReceivers appends the indices of the receivers that lost packet i
+// to buf (ascending) and returns it. It is the any-width counterpart of
+// LossPattern; an empty result means nobody lost the packet.
+func (t *Trace) LostReceivers(i int, buf []int) []int {
+	for r := range t.Loss {
+		if t.Loss[r][i] {
+			buf = append(buf, r)
+		}
+	}
+	return buf
 }
 
 // Stats summarizes a trace for Table 1 style reporting.

@@ -233,7 +233,7 @@ func TestGenerateRejectsBadSpecs(t *testing.T) {
 		func(s *GenSpec) { s.Period = 0 },
 		func(s *GenSpec) { s.TargetLosses = -1 },
 		func(s *GenSpec) { s.TargetLosses = 10000 },
-		func(s *GenSpec) { s.Topology.Receivers = 100 },
+		func(s *GenSpec) { s.Topology.Receivers = 0 },
 		func(s *GenSpec) { s.MeanBurstLen = 0.5 },
 	}
 	for i, mutate := range cases {
