@@ -70,6 +70,9 @@ type diffPerf struct {
 	Shards        int    `json:"shards"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
 	Repeats       int    `json:"repeats"`
+	PlanHits      uint64 `json:"plan_hits"`
+	PlanMisses    uint64 `json:"plan_misses"`
+	PlanEvictions uint64 `json:"plan_evictions"`
 }
 
 // config renders the execution shape behind a perf block. Snapshots
@@ -238,6 +241,14 @@ func diff(committed, fresh *diffRun, maxRegressionPct, maxMemRegressionPct float
 		fmt.Printf("peak heap: committed %.1f MB, fresh %.1f MB (%+.1f%%, budget +%.0f%%) %s\n",
 			float64(committed.Perf.PeakHeapBytes)/1e6, float64(fresh.Perf.PeakHeapBytes)/1e6,
 			pct, maxMemRegressionPct, verdict)
+	}
+	// Flood plan cache counters are deterministic (a pure function of the
+	// run configuration), so they are reported rather than gated: a hit
+	// rate collapsing across revisions is a perf smell the wall-time gate
+	// will confirm.
+	if c, f := committed.Perf, fresh.Perf; c.PlanHits+c.PlanMisses > 0 || f.PlanHits+f.PlanMisses > 0 {
+		fmt.Printf("flood plans: committed %d hits / %d misses / %d evictions, fresh %d / %d / %d\n",
+			c.PlanHits, c.PlanMisses, c.PlanEvictions, f.PlanHits, f.PlanMisses, f.PlanEvictions)
 	}
 	return fails
 }

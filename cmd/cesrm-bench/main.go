@@ -95,6 +95,11 @@ type benchPerfJSON struct {
 	Shards        int    `json:"shards,omitempty"`
 	GOMAXPROCS    int    `json:"gomaxprocs,omitempty"`
 	Repeats       int    `json:"repeats,omitempty"`
+	// Flood plan cache counters, summed over the pass's runs (both
+	// protocols, all traces). Zero/omitted when the cache is disabled.
+	PlanHits      uint64 `json:"plan_hits,omitempty"`
+	PlanMisses    uint64 `json:"plan_misses,omitempty"`
+	PlanEvictions uint64 `json:"plan_evictions,omitempty"`
 }
 
 type benchTraceJSON struct {
@@ -113,8 +118,11 @@ type benchTraceJSON struct {
 
 func benchRun(scale float64, perf benchPerfJSON, results []experiment.SuiteResult) benchRunJSON {
 	out := benchRunJSON{Scale: scale, Perf: perf}
+	var plans netsim.PlanStats
 	for _, r := range results {
 		p := r.Pair
+		plans.Add(p.SRM.PlanStats)
+		plans.Add(p.CESRM.PlanStats)
 		succ, _ := p.ExpeditedSuccess()
 		out.Traces = append(out.Traces, benchTraceJSON{
 			Index:               r.Entry.Index,
@@ -130,6 +138,9 @@ func benchRun(scale float64, perf benchPerfJSON, results []experiment.SuiteResul
 			WallNS:              r.Elapsed.Nanoseconds(),
 		})
 	}
+	out.Perf.PlanHits = plans.Hits
+	out.Perf.PlanMisses = plans.Misses
+	out.Perf.PlanEvictions = plans.Evictions
 	return out
 }
 
@@ -386,6 +397,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max traces simulating concurrently (1 = serial)")
 	shards := fs.Int("shards", 0, "intra-run dispatch shards per simulation (0 or 1 = serial, < 0 = GOMAXPROCS); fingerprints are identical at any value")
 	repeat := fs.Int("repeat", 1, "suite passes per scale; the JSON perf block records the median wall time")
+	planBudget := fs.Int("plan-budget", 0, "flood plan cache budget in tour entries (0 = default, < 0 = disable the cache); fingerprints are identical at any value")
 	chaosMatrix := fs.Bool("chaos-matrix", false, "run the deterministic fault-injection scenario matrix per selected trace (instead of the figure suite) and report per-scenario fingerprints")
 	jsonPath := fs.String("json", "", "also write a machine-readable summary (fingerprints + headline metrics + perf, one entry per scale) to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run(s) to this file")
@@ -453,10 +465,11 @@ func run(args []string) error {
 			Traces:   indices,
 			Parallel: *parallel,
 			Base: experiment.RunConfig{
-				Net:           netCfg,
-				CESRM:         cesrmCfg,
-				LossyRecovery: *lossy,
-				Shards:        shardsVal,
+				Net:             netCfg,
+				CESRM:           cesrmCfg,
+				LossyRecovery:   *lossy,
+				Shards:          shardsVal,
+				FloodPlanBudget: *planBudget,
 			},
 		}
 		if si > 0 {

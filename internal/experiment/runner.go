@@ -144,6 +144,14 @@ type RunConfig struct {
 	// Fingerprints are byte-identical for every value of Shards; values
 	// below 2 (and trees whose root has one child) run serially.
 	Shards int
+	// FloodPlanBudget sizes the netsim flood plan cache in total tour
+	// entries across all cached plans. Zero (the default) enables the
+	// cache at netsim.DefaultFloodPlanEntries; positive values set the
+	// budget explicitly; negative values disable the cache (pure DFS
+	// floods, for A/B measurement). Plans never change observable
+	// behavior — replay performs the identical call and RNG-draw
+	// sequence — so fingerprints are byte-identical for every value.
+	FloodPlanBudget int
 	// HeapProbe, when non-nil, is invoked on every monitor tick (once
 	// per session period of virtual time); cesrm-bench installs a heap
 	// high-watermark sampler so peak-memory reporting cannot miss spikes
@@ -199,6 +207,14 @@ type RunResult struct {
 	RTT stats.RTTFunc
 	// Receivers lists the receiver nodes in trace order.
 	Receivers []topology.NodeID
+	// PlanStats snapshots the flood plan cache counters (hits, misses,
+	// evictions); all-zero when RunConfig.FloodPlanBudget disabled the
+	// cache.
+	PlanStats netsim.PlanStats
+	// BarrierEvents counts events the sharded dispatch loop executed as
+	// serial barriers; zero for serial runs. A proxy for how much of the
+	// event stream still serializes under sharded dispatch.
+	BarrierEvents uint64
 	// Status reports how the engine terminated. The zero value,
 	// sim.Completed, is the only status budget-free runs ever produce;
 	// any other value means a RunConfig.Budget guardrail aborted the run
@@ -337,6 +353,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	eng := sim.NewEngine()
 	eng.SetBudget(cfg.Budget)
 	net := netsim.New(eng, tree, cfg.Net)
+	if cfg.FloodPlanBudget >= 0 {
+		net.EnableFloodPlans(cfg.FloodPlanBudget)
+	}
 	// Sharded dispatch: partition the root subtrees, label deliveries
 	// with their receiving node's shard, and hand each host shard-local
 	// engine/network handles below. With Shards < 2 all of this is nil
@@ -544,11 +563,23 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	numPackets := tr.NumPackets()
 	srcAgent := agents[source]
+	// Transmit events run entirely within the source host (packet sends
+	// and timers route through its shard-local handles), so they carry
+	// the source's shard label instead of dispatching as barriers — the
+	// bulk of the formerly-serializing events in large same-instant
+	// batches. The session monitor below inspects every host and stays a
+	// barrier by design.
 	for i := 0; i < numPackets; i++ {
 		seq := i
-		eng.ScheduleAt(sim.Time(cfg.Warmup+time.Duration(i)*tr.Period), func(sim.Time) {
+		at := sim.Time(cfg.Warmup + time.Duration(i)*tr.Period)
+		fn := func(sim.Time) {
 			srcAgent.Transmit(seq)
-		})
+		}
+		if shardOf != nil {
+			eng.ScheduleAtShard(at, fn, shardOf[source])
+		} else {
+			eng.ScheduleAt(at, fn)
+		}
 	}
 
 	lastData := sim.Time(cfg.Warmup + time.Duration(numPackets-1)*tr.Period)
@@ -660,6 +691,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			Events:                recorder.Events(),
 			RTT:                   rtt,
 			Receivers:             receivers,
+			PlanStats:             net.PlanStats(),
+			BarrierEvents:         eng.BarrierEvents(),
 			Status:                status,
 			Diag:                  diag,
 		}, nil
@@ -716,5 +749,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Events:                recorder.Events(),
 		RTT:                   rtt,
 		Receivers:             receivers,
+		PlanStats:             net.PlanStats(),
+		BarrierEvents:         eng.BarrierEvents(),
 	}, nil
 }

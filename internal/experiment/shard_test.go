@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cesrm/internal/chaos"
+	"cesrm/internal/netsim"
 	"cesrm/internal/sim"
 )
 
@@ -101,20 +102,31 @@ func TestShardedChaosEquality(t *testing.T) {
 }
 
 // TestShardedBudgetAbort pins the guardrail semantics under parallel
-// dispatch: a budget-aborted sharded run terminates with the same
-// status and a clock no earlier than serial (entries admitted into the
-// aborting batch finish; the clock never regresses), and the abort is
-// deterministic across sharded reruns.
+// dispatch: both serial and sharded runs abort on the event budget,
+// and each aborts deterministically across reruns. The abort clocks
+// are not compared across configs: hop-cohort delivery groups split at
+// shard boundaries, so a sharded run dispatches more (smaller) events
+// than serial and burns the budget at a different virtual time. Event
+// budgets are comparable only between identical configurations —
+// exactly the rule benchdiff applies to wall-clock gates.
 func TestShardedBudgetAbort(t *testing.T) {
 	tr := smallTrace(t, 99)
 	base := RunConfig{Trace: tr, Protocol: SRM, Seed: 123,
-		Budget: sim.Budget{MaxEvents: 50_000}}
+		Budget: sim.Budget{MaxEvents: 5_000}}
 	serial, err := Run(base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.Status != sim.EventBudgetExceeded {
 		t.Fatalf("serial status = %v, want EventBudgetExceeded", serial.Status)
+	}
+	serial2, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial2.Fingerprint != serial.Fingerprint || serial2.FinishedAt != serial.FinishedAt {
+		t.Errorf("serial budget abort not deterministic: %s@%v vs %s@%v",
+			serial.Fingerprint, serial.FinishedAt, serial2.Fingerprint, serial2.FinishedAt)
 	}
 	sharded := base
 	sharded.Shards = 4
@@ -125,9 +137,6 @@ func TestShardedBudgetAbort(t *testing.T) {
 	if first.Status != sim.EventBudgetExceeded {
 		t.Fatalf("sharded status = %v, want EventBudgetExceeded", first.Status)
 	}
-	if first.FinishedAt < serial.FinishedAt {
-		t.Errorf("sharded abort clock %v regressed below serial %v", first.FinishedAt, serial.FinishedAt)
-	}
 	second, err := Run(sharded)
 	if err != nil {
 		t.Fatal(err)
@@ -135,5 +144,68 @@ func TestShardedBudgetAbort(t *testing.T) {
 	if second.Fingerprint != first.Fingerprint || second.FinishedAt != first.FinishedAt {
 		t.Errorf("sharded budget abort not deterministic: %s@%v vs %s@%v",
 			first.Fingerprint, first.FinishedAt, second.Fingerprint, second.FinishedAt)
+	}
+}
+
+// TestShardedBarrierEventsDrop pins the ROADMAP item-2 remainder:
+// per-packet source transmit events carry the source's shard label
+// instead of dispatching as GlobalShard barriers, so a sharded run's
+// barrier count stays far below the packet count (every transmit used
+// to be a barrier) while the fingerprint remains byte-identical to
+// serial. The residual barriers are the session-cadence completion
+// monitor (it inspects every host) and nothing proportional to traffic.
+func TestShardedBarrierEventsDrop(t *testing.T) {
+	tr := smallTrace(t, 99)
+	base := RunConfig{Trace: tr, Protocol: SRM, Seed: 123}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BarrierEvents != 0 {
+		t.Fatalf("serial run counted %d barrier events, want 0", serial.BarrierEvents)
+	}
+	sharded := base
+	sharded.Shards = 4
+	res, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != serial.Fingerprint {
+		t.Fatalf("sharded fingerprint diverged:\n got  %s\n want %s", res.Fingerprint, serial.Fingerprint)
+	}
+	numPackets := uint64(tr.NumPackets())
+	if res.BarrierEvents == 0 {
+		t.Fatal("sharded run counted no barrier events; the monitor should still be one")
+	}
+	if res.BarrierEvents >= numPackets/2 {
+		t.Errorf("sharded run dispatched %d barrier events for %d packets; transmits are serializing again",
+			res.BarrierEvents, numPackets)
+	}
+}
+
+// TestShardedPlanCacheCounters sanity-checks the plumbing end to end:
+// a default run (plans enabled) reports cache activity with a high hit
+// rate, a disabled run reports none, and the fingerprints match.
+func TestShardedPlanCacheCounters(t *testing.T) {
+	tr := smallTrace(t, 99)
+	on, err := Run(RunConfig{Trace: tr, Protocol: SRM, Seed: 123, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(RunConfig{Trace: tr, Protocol: SRM, Seed: 123, Shards: 4, FloodPlanBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Fingerprint != off.Fingerprint {
+		t.Fatalf("plan cache changed the fingerprint:\n on  %s\n off %s", on.Fingerprint, off.Fingerprint)
+	}
+	if on.PlanStats.Hits == 0 || on.PlanStats.Misses == 0 {
+		t.Fatalf("plan-enabled run reported no cache activity: %+v", on.PlanStats)
+	}
+	if on.PlanStats.Hits < 10*on.PlanStats.Misses {
+		t.Errorf("plan hit rate unexpectedly low: %+v", on.PlanStats)
+	}
+	if off.PlanStats != (netsim.PlanStats{}) {
+		t.Errorf("plan-disabled run reported cache activity: %+v", off.PlanStats)
 	}
 }

@@ -218,7 +218,11 @@ type Network struct {
 	drop DropFunc
 	dup  DupFunc
 
-	hosts  map[topology.NodeID]Host
+	// hostAt maps each node to its registered protocol agent, dense by
+	// NodeID (nil for silent routers): the per-delivery host lookup sits
+	// on the hottest path of every flood, where the old map probe cost
+	// hashing and bucket chasing per visited node.
+	hostAt []Host
 	nextID uint64
 
 	// linkDown marks administratively-downed links (SetLinkUp), indexed
@@ -255,6 +259,13 @@ type Network struct {
 	visitGen uint64
 	stack    []floodVisit
 
+	// plans is the per-origin flood plan cache (nil until
+	// EnableFloodPlans); skipMark is the replay's region-skip scratch,
+	// epoch-stamped with visitGen like visited and grown to the largest
+	// replayed plan.
+	plans    *planCache
+	skipMark []uint64
+
 	// deliveryPools and freeHops pool the reusable event structs that
 	// replaced the closure-per-delivery and closure-per-hop allocations.
 	// Deliveries are pooled per shard (index shard+1; index 0 is the
@@ -264,6 +275,21 @@ type Network struct {
 	// global pool — the queuing path dispatches serially.
 	deliveryPools [][]*deliveryEvent
 	freeHops      []*hopEvent
+
+	// groupPools pools hop-cohort group delivery events, per shard like
+	// deliveryPools. hopGroups and maxHop are the per-flood assembly
+	// scratch: hopGroups[h] is the group currently accumulating this
+	// flood's deliveries at hop distance h (see groupDeliver for why
+	// grouping preserves delivery order exactly), maxHop the highest
+	// occupied index. gNow, gPerHop and gPkt carry the current flood's
+	// parameters to the grouping helpers; flood is synchronous and never
+	// re-entered, so one set of scratch fields suffices.
+	groupPools [][]*groupDeliveryEvent
+	hopGroups  []*groupDeliveryEvent
+	maxHop     int
+	gNow       sim.Time
+	gPerHop    time.Duration
+	gPkt       *Packet
 
 	// shardOf maps each node to its dispatch shard (sim.GlobalShard when
 	// unassigned); nil until SetShards, so serial runs pay nothing.
@@ -284,13 +310,14 @@ func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
 		eng:       eng,
 		tree:      tree,
 		cfg:       cfg,
-		hosts:     make(map[topology.NodeID]Host),
+		hostAt:    make([]Host, tree.NumNodes()),
 		txPayload: serializeTime(cfg.PayloadBytes, cfg.Bandwidth),
 		txControl: serializeTime(cfg.ControlBytes, cfg.Bandwidth),
 		visited:   make([]uint64, tree.NumNodes()),
 		stack:     make([]floodVisit, 0, tree.NumNodes()),
 
 		deliveryPools: make([][]*deliveryEvent, 1),
+		groupPools:    make([][]*groupDeliveryEvent, 1),
 	}
 	if cfg.Queuing {
 		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
@@ -310,11 +337,14 @@ func (n *Network) Counts() CrossingCounts { return n.counts }
 
 // AttachHost registers h as the protocol agent at node id. Only
 // registered nodes receive deliveries; routers forward silently.
+// Attaching after EnableFloodPlans invalidates any cached plans (their
+// host flags are baked in at compile time).
 func (n *Network) AttachHost(id topology.NodeID, h Host) {
 	if h == nil {
 		panic("netsim: AttachHost with nil host")
 	}
-	n.hosts[id] = h
+	n.hostAt[id] = h
+	n.invalidatePlans()
 }
 
 // SetDropFunc installs the loss-injection hook.
@@ -338,6 +368,9 @@ func (n *Network) SetShards(shardOf []int32) {
 	n.shardOf = shardOf
 	for int32(len(n.deliveryPools)) < maxShard+2 {
 		n.deliveryPools = append(n.deliveryPools, nil)
+	}
+	for int32(len(n.groupPools)) < maxShard+2 {
+		n.groupPools = append(n.groupPools, nil)
 	}
 }
 
@@ -567,10 +600,117 @@ func (n *Network) scheduleDeliveryOnce(at sim.Time, shard int32, h Host, p *Pack
 	n.eng.ScheduleHandlerAtShard(at, d, shard)
 }
 
+// groupDeliveryEvent delivers one flood's whole hop cohort — every host
+// the same hop distance from the origin, all due at the same instant —
+// as a single engine event, instead of one wheel entry per host. The
+// hosts fire in append order, which groupDeliver guarantees is the
+// flood's pop order, so the deliveries (and everything the hosts
+// schedule in response) happen in exactly the order the per-host events
+// would have produced. Members are stored as node IDs, not Host
+// interfaces: the int32 slice is pointer-free, so the per-delivery
+// append skips the GC write barrier and the GC never scans it.
+type groupDeliveryEvent struct {
+	n     *Network
+	pkt   *Packet
+	nodes []int32
+	// shard labels the event for sharded dispatch; all member hosts live
+	// on this shard (groupDeliver breaks the cohort at shard changes).
+	shard int32
+}
+
+func (g *groupDeliveryEvent) Fire(now sim.Time) {
+	n, pkt := g.n, g.pkt
+	for _, id := range g.nodes {
+		n.hostAt[id].Deliver(now, pkt)
+	}
+	// Recycle only after the loop: a nested flood inside Deliver may pull
+	// from the pool, and must not get this event while it is iterating.
+	g.pkt = nil
+	g.nodes = g.nodes[:0]
+	pool := &n.groupPools[g.shard+1]
+	*pool = append(*pool, g)
+}
+
+// canGroupDeliveries reports whether the current flood may batch its
+// deliveries into hop-cohort events. Grouping requires that every
+// delivery at the same hop count lands at the same instant with no
+// per-delivery randomness: jitter spreads arrival times (and draws the
+// RNG per delivery, in pop order), the duplicate hook draws per
+// delivery too, and a zero per-hop delay would collapse all cohorts
+// onto one instant where cross-cohort pop order — not hop order —
+// decides the FIFO sequence. In each of those cases the flood falls
+// back to one event per host. A jitter RNG installed at zero magnitude
+// draws nothing and groups fine.
+func (n *Network) canGroupDeliveries(perHop time.Duration) bool {
+	return n.maxJitter == 0 && n.dup == nil && perHop > 0
+}
+
+// beginGrouping arms the per-flood grouping scratch.
+func (n *Network) beginGrouping(now sim.Time, perHop time.Duration, p *Packet) {
+	n.gNow, n.gPerHop, n.gPkt = now, perHop, p
+	n.maxHop = 0
+}
+
+// groupDeliver adds one delivery to the flood's cohort group for its
+// hop distance, opening a new group on first use or when the cohort
+// crosses a shard boundary. Floods visit hosts in DFS pop order, so
+// each cohort's members arrive here in pop order, and a cohort's
+// shard-contiguous runs are scheduled (= assigned engine FIFO
+// sequence numbers) in that same order: the concatenation of group
+// firings at one instant replays exactly the per-host event order,
+// serial or sharded.
+func (n *Network) groupDeliver(node topology.NodeID, hops int) {
+	for len(n.hopGroups) <= hops {
+		n.hopGroups = append(n.hopGroups, nil)
+	}
+	s := n.shard(node)
+	g := n.hopGroups[hops]
+	if g != nil && g.shard != s {
+		n.scheduleGroup(hops, g)
+		g = nil
+	}
+	if g == nil {
+		pool := &n.groupPools[s+1]
+		if k := len(*pool); k > 0 {
+			g = (*pool)[k-1]
+			(*pool)[k-1] = nil
+			*pool = (*pool)[:k-1]
+		} else {
+			g = &groupDeliveryEvent{n: n}
+		}
+		g.pkt, g.shard = n.gPkt, s
+		n.hopGroups[hops] = g
+		if hops > n.maxHop {
+			n.maxHop = hops
+		}
+	}
+	g.nodes = append(g.nodes, int32(node))
+}
+
+// scheduleGroup registers a cohort group at its hop's arrival instant.
+func (n *Network) scheduleGroup(hops int, g *groupDeliveryEvent) {
+	at := n.gNow.Add(time.Duration(hops) * n.gPerHop)
+	n.eng.ScheduleHandlerAtShard(at, g, g.shard)
+}
+
+// flushGroups schedules every group still assembling at flood end.
+func (n *Network) flushGroups() {
+	for h := 1; h <= n.maxHop; h++ {
+		if g := n.hopGroups[h]; g != nil {
+			n.hopGroups[h] = nil
+			n.scheduleGroup(h, g)
+		}
+	}
+	n.maxHop = 0
+	n.gPkt = nil
+}
+
 // flood walks the tree outward from origin. downOnly restricts the walk
 // to descendants (subcast). Without queuing this performs the whole
-// reachability walk immediately and schedules one delivery event per
-// reached host; with queuing it simulates each hop as its own event.
+// reachability walk immediately and schedules the deliveries — one
+// hop-cohort group event per arrival instant when grouping applies
+// (see canGroupDeliveries), one event per reached host otherwise; with
+// queuing it simulates each hop as its own event.
 //
 // The fast path reuses the network's scratch buffers (visited stamps,
 // DFS stack) and pooled delivery events, so it allocates nothing. The
@@ -583,8 +723,18 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 		n.floodHop(origin, origin, topology.None, p, downOnly, n.eng.Now())
 		return
 	}
+	if n.plans != nil {
+		if pl := n.planFor(origin, downOnly); pl != nil {
+			n.replayPlan(pl, p)
+			return
+		}
+	}
 	perHop := n.cfg.LinkDelay + n.txTime(p)
 	now := n.eng.Now()
+	grouped := n.canGroupDeliveries(perHop)
+	if grouped {
+		n.beginGrouping(now, perHop, p)
+	}
 	n.visitGen++
 	gen := n.visitGen
 	stack := n.stack[:0]
@@ -594,8 +744,12 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if v.node != origin {
-			if h, ok := n.hosts[v.node]; ok {
-				n.scheduleDelivery(now.Add(time.Duration(v.hops)*perHop+n.jitter()), v.node, h, p)
+			if h := n.hostAt[v.node]; h != nil {
+				if grouped {
+					n.groupDeliver(v.node, v.hops)
+				} else {
+					n.scheduleDelivery(now.Add(time.Duration(v.hops)*perHop+n.jitter()), v.node, h, p)
+				}
 			}
 		}
 		for _, next := range n.tree.Children(v.node) {
@@ -628,6 +782,9 @@ func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
 		}
 	}
 	n.stack = stack[:0]
+	if grouped {
+		n.flushGroups()
+	}
 }
 
 // hopEvent is the pooled per-hop forwarding event of the queuing flood
@@ -668,7 +825,7 @@ func (n *Network) scheduleHop(at sim.Time, origin, next, from topology.NodeID, p
 // Like flood, it visits children in tree order before the parent.
 func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, downOnly bool, at sim.Time) {
 	if node != origin {
-		if h, ok := n.hosts[node]; ok {
+		if h := n.hostAt[node]; h != nil {
 			h.Deliver(at, p)
 		}
 	}
@@ -728,7 +885,7 @@ func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
 		}
 		cur = next
 	}
-	if h, ok := n.hosts[to]; ok && to != from {
+	if h := n.hostAt[to]; h != nil && to != from {
 		n.scheduleDelivery(at.Add(n.jitter()), to, h, p)
 	}
 }
@@ -780,7 +937,7 @@ func (n *Network) UnicastThenSubcast(from, via topology.NodeID, p *Packet) {
 	// a single leaf), the packet is delivered to it directly.
 	n.eng.ScheduleAt(at, func(now sim.Time) {
 		p.Mode = ModeSubcast
-		if h, ok := n.hosts[via]; ok && via != from {
+		if h := n.hostAt[via]; h != nil && via != from {
 			h.Deliver(now, p)
 		}
 		n.flood(via, p, true)

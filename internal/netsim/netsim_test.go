@@ -465,32 +465,58 @@ func TestSubcastControlCountsInRecoveryTotal(t *testing.T) {
 	}
 }
 
-// TestFloodPathEquivalence is the property test for the two flood
+// floodMode selects which flood implementation TestFloodPathEquivalence
+// exercises.
+type floodMode int
+
+const (
+	fastDFS   floodMode = iota // non-queuing DFS, no plan cache
+	queuing                    // event-per-hop floodHop (conformance oracle)
+	planCache_                 // non-queuing with the flood plan cache enabled
+)
+
+func (m floodMode) String() string {
+	return [...]string{"fastDFS", "queuing", "plan"}[m]
+}
+
+// TestFloodPathEquivalence is the property test for the three flood
 // implementations: on random trees, with a deterministic link-local
-// drop function, the fast (non-queuing) path and the event-per-hop
-// queuing path must deliver to exactly the same hosts and cross exactly
-// the same links the same number of times. Only timing may differ.
+// drop function and optionally severed links, the fast (non-queuing)
+// DFS, the event-per-hop queuing path, and plan-cache replay must
+// deliver to exactly the same hosts and cross exactly the same links
+// the same number of times. Only timing may differ (and only for the
+// queuing path; plan replay's timing is byte-identical to the DFS,
+// pinned separately by TestFloodPlanReplayIdenticalSchedule).
 func TestFloodPathEquivalence(t *testing.T) {
 	type linkDir struct {
 		link topology.LinkID
 		down bool
 	}
 	// run floods a single packet and returns (delivered hosts, crossed
-	// link/direction multiset).
-	run := func(tree *topology.Tree, queuing bool, origin topology.NodeID, subcast bool, dropMod int) (map[topology.NodeID]int, map[linkDir]int) {
+	// link/direction multiset). sevMod > 0 severs every link whose ID is
+	// a multiple of it (except the root's pseudo-link 0).
+	run := func(tree *topology.Tree, mode floodMode, origin topology.NodeID, subcast bool, dropMod, sevMod int) (map[topology.NodeID]int, map[linkDir]int) {
 		cfg := DefaultConfig()
-		cfg.Queuing = queuing
+		cfg.Queuing = mode == queuing
 		eng := sim.NewEngine()
 		net := New(eng, tree, cfg)
+		if mode == planCache_ {
+			net.EnableFloodPlans(0)
+		}
 		recs := make(map[topology.NodeID]*recorder)
 		for _, r := range tree.Receivers() {
 			rec := &recorder{}
 			recs[r] = rec
 			net.AttachHost(r, rec)
 		}
+		if sevMod > 0 {
+			for l := 1; l < tree.NumNodes(); l += sevMod {
+				net.SetLinkUp(topology.LinkID(l), false)
+			}
+		}
 		crossed := make(map[linkDir]int)
 		if dropMod > 0 {
-			// Deterministic in (link, direction) only, so both paths see
+			// Deterministic in (link, direction) only, so all paths see
 			// identical drop decisions regardless of traversal order.
 			net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
 				crossed[linkDir{link, down}]++
@@ -506,12 +532,17 @@ func TestFloodPathEquivalence(t *testing.T) {
 				return false
 			})
 		}
-		if subcast {
-			net.Subcast(origin, &Packet{Class: Payload, From: origin, Msg: reqMsg{}})
-		} else {
-			net.Multicast(origin, &Packet{Class: Payload, Msg: reqMsg{}})
+		// Flood twice so the plan mode exercises both the compile-miss
+		// and the cache-hit replay; all modes flood twice to keep the
+		// delivery counts comparable.
+		for i := 0; i < 2; i++ {
+			if subcast {
+				net.Subcast(origin, &Packet{Class: Payload, From: origin, Msg: reqMsg{}})
+			} else {
+				net.Multicast(origin, &Packet{Class: Payload, Msg: reqMsg{}})
+			}
+			eng.Run()
 		}
-		eng.Run()
 		hosts := make(map[topology.NodeID]int)
 		for id, rec := range recs {
 			if len(rec.got) > 0 {
@@ -528,27 +559,110 @@ func TestFloodPathEquivalence(t *testing.T) {
 		for _, origin := range origins {
 			for _, subcast := range []bool{false, true} {
 				for _, dropMod := range []int{0, 3, 5} {
-					fastHosts, fastLinks := run(tree, false, origin, subcast, dropMod)
-					slowHosts, slowLinks := run(tree, true, origin, subcast, dropMod)
-					if len(fastHosts) != len(slowHosts) {
-						t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: host sets differ: fast=%v slow=%v",
-							seed, origin, subcast, dropMod, fastHosts, slowHosts)
-					}
-					for id, nf := range fastHosts {
-						if slowHosts[id] != nf {
-							t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: host %d deliveries fast=%d slow=%d",
-								seed, origin, subcast, dropMod, id, nf, slowHosts[id])
+					for _, sevMod := range []int{0, 4} {
+						refHosts, refLinks := run(tree, fastDFS, origin, subcast, dropMod, sevMod)
+						for _, mode := range []floodMode{queuing, planCache_} {
+							gotHosts, gotLinks := run(tree, mode, origin, subcast, dropMod, sevMod)
+							if len(refHosts) != len(gotHosts) {
+								t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d: host sets differ: fast=%v %v=%v",
+									seed, origin, subcast, dropMod, sevMod, refHosts, mode, gotHosts)
+							}
+							for id, nf := range refHosts {
+								if gotHosts[id] != nf {
+									t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d: host %d deliveries fast=%d %v=%d",
+										seed, origin, subcast, dropMod, sevMod, id, nf, mode, gotHosts[id])
+								}
+							}
+							if len(refLinks) != len(gotLinks) {
+								t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d: crossed link sets differ: fast=%v %v=%v",
+									seed, origin, subcast, dropMod, sevMod, refLinks, mode, gotLinks)
+							}
+							for ld, nf := range refLinks {
+								if gotLinks[ld] != nf {
+									t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d: link %v crossings fast=%d %v=%d",
+										seed, origin, subcast, dropMod, sevMod, ld, nf, mode, gotLinks[ld])
+								}
+							}
 						}
 					}
-					if len(fastLinks) != len(slowLinks) {
-						t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: crossed link sets differ: fast=%v slow=%v",
-							seed, origin, subcast, dropMod, fastLinks, slowLinks)
-					}
-					for ld, nf := range fastLinks {
-						if slowLinks[ld] != nf {
-							t.Fatalf("seed=%d origin=%d subcast=%v drop=%d: link %v crossings fast=%d slow=%d",
-								seed, origin, subcast, dropMod, ld, nf, slowLinks[ld])
-						}
+				}
+			}
+		}
+	}
+}
+
+// orderLog is a delivery log shared by every host of a network, so
+// tests can observe the cross-host delivery order, which per-host
+// recorders cannot see.
+type orderLog struct {
+	events []orderEntry
+}
+
+type orderEntry struct {
+	node topology.NodeID
+	at   sim.Time
+	pkt  uint64
+}
+
+// orderTap is the per-node host feeding the shared log.
+type orderTap struct {
+	log  *orderLog
+	node topology.NodeID
+}
+
+func (o *orderTap) Deliver(now sim.Time, p *Packet) {
+	o.log.events = append(o.log.events, orderEntry{o.node, now, p.ID})
+}
+
+// TestGroupedDeliveryOrderMatchesPerHost pins the hop-cohort grouping
+// optimization at its only observable seam: the cross-host delivery
+// order. A flood with grouping active (no jitter, no duplicates) must
+// deliver to every host at the same instant and in the same sequence
+// as the per-host event path, which the test forces with a no-op
+// duplicate hook (installing any DupFunc disables grouping without
+// changing behavior). Shard labels split cohorts into contiguous runs;
+// an adversarial interleaved labeling must not perturb the order
+// either.
+func TestGroupedDeliveryOrderMatchesPerHost(t *testing.T) {
+	run := func(tree *topology.Tree, perHost, labeled bool, origin topology.NodeID) []orderEntry {
+		eng := sim.NewEngine()
+		net := New(eng, tree, DefaultConfig())
+		log := &orderLog{}
+		for _, r := range tree.Receivers() {
+			net.AttachHost(r, &orderTap{log: log, node: r})
+		}
+		if labeled {
+			// Adversarial labeling: alternate shards by node parity so
+			// cohorts fracture into many runs.
+			shardOf := make([]int32, tree.NumNodes())
+			for i := range shardOf {
+				shardOf[i] = int32(i % 3)
+			}
+			net.SetShards(shardOf)
+		}
+		if perHost {
+			net.SetDupFunc(func(*Packet, sim.Time) (time.Duration, bool) { return 0, false })
+		}
+		for i := 0; i < 2; i++ {
+			net.Multicast(origin, &Packet{Class: Payload, Msg: dataMsg{}})
+			eng.Run()
+		}
+		return log.events
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		tree := topology.MustGenerate(sim.NewRNG(seed), topology.GenSpec{Receivers: 10 + int(seed)*4, Depth: 3 + int(seed)%3})
+		for _, origin := range []topology.NodeID{tree.Root(), tree.Receivers()[0]} {
+			for _, labeled := range []bool{false, true} {
+				want := run(tree, true, labeled, origin)
+				got := run(tree, false, labeled, origin)
+				if len(want) != len(got) {
+					t.Fatalf("seed=%d origin=%d labeled=%v: %d grouped deliveries, want %d",
+						seed, origin, labeled, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed=%d origin=%d labeled=%v: delivery %d = %+v, want %+v",
+							seed, origin, labeled, i, got[i], want[i])
 					}
 				}
 			}

@@ -1,0 +1,328 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// nullHost is a no-op delivery sink for allocation gates: unlike
+// recorder it never appends, so a warm flood must be exactly
+// allocation-free.
+type nullHost struct{}
+
+func (nullHost) Deliver(sim.Time, *Packet) {}
+
+// TestFloodPlanReplayIdenticalSchedule pins the tentpole property at
+// its strongest: with jitter enabled (so every delivery consumes an RNG
+// draw), a run with the plan cache enabled must produce byte-identical
+// delivery schedules — same hosts, same timestamps, same order — as the
+// plain DFS, across random trees, origins, subcast roots, deterministic
+// drops and severed links. Identical timestamps under jitter can only
+// happen if replay draws the RNG in exactly the DFS's order.
+func TestFloodPlanReplayIdenticalSchedule(t *testing.T) {
+	run := func(tree *topology.Tree, plans bool, origin topology.NodeID, subcast bool, dropMod, sevMod int) map[topology.NodeID][]sim.Time {
+		eng := sim.NewEngine()
+		net := New(eng, tree, DefaultConfig())
+		if plans {
+			net.EnableFloodPlans(0)
+		}
+		net.EnableJitter(sim.NewRNG(42), 3*time.Millisecond)
+		recs := make(map[topology.NodeID]*recorder)
+		for _, r := range tree.Receivers() {
+			rec := &recorder{}
+			recs[r] = rec
+			net.AttachHost(r, rec)
+		}
+		if sevMod > 0 {
+			for l := 1; l < tree.NumNodes(); l += sevMod {
+				net.SetLinkUp(topology.LinkID(l), false)
+			}
+		}
+		if dropMod > 0 {
+			net.SetDropFunc(func(p *Packet, link topology.LinkID, down bool) bool {
+				k := int(link) * 2
+				if down {
+					k++
+				}
+				return k%dropMod == 0
+			})
+		}
+		// Several floods per run: the first compiles (miss), the rest
+		// replay (hits), and every flood advances the shared jitter RNG,
+		// so any draw-order divergence compounds into later floods.
+		for i := 0; i < 3; i++ {
+			if subcast {
+				net.Subcast(origin, &Packet{Class: Payload, From: origin, Msg: reqMsg{}})
+			} else {
+				net.Multicast(origin, &Packet{Class: Payload, Msg: dataMsg{}})
+			}
+			eng.Run()
+		}
+		out := make(map[topology.NodeID][]sim.Time)
+		for id, rec := range recs {
+			for _, d := range rec.got {
+				out[id] = append(out[id], d.at)
+			}
+		}
+		return out
+	}
+
+	for seed := int64(0); seed < 6; seed++ {
+		spec := topology.GenSpec{Receivers: 8 + int(seed)*3, Depth: 3 + int(seed)%3}
+		tree := topology.MustGenerate(sim.NewRNG(seed), spec)
+		origins := []topology.NodeID{tree.Root(), tree.Receivers()[tree.NumReceivers()/2]}
+		for _, origin := range origins {
+			for _, subcast := range []bool{false, true} {
+				for _, dropMod := range []int{0, 3} {
+					for _, sevMod := range []int{0, 5} {
+						want := run(tree, false, origin, subcast, dropMod, sevMod)
+						got := run(tree, true, origin, subcast, dropMod, sevMod)
+						if len(want) != len(got) {
+							t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d: delivered host sets differ: dfs=%d plan=%d",
+								seed, origin, subcast, dropMod, sevMod, len(want), len(got))
+						}
+						for id, ts := range want {
+							gts := got[id]
+							if len(ts) != len(gts) {
+								t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d host=%d: delivery counts dfs=%d plan=%d",
+									seed, origin, subcast, dropMod, sevMod, id, len(ts), len(gts))
+							}
+							for i := range ts {
+								if ts[i] != gts[i] {
+									t.Fatalf("seed=%d origin=%d subcast=%v drop=%d sev=%d host=%d delivery %d: dfs at %v, plan at %v",
+										seed, origin, subcast, dropMod, sevMod, id, i, ts[i], gts[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFloodPlanCacheCounters pins the hit/miss accounting: first flood
+// from an origin compiles (miss), subsequent floods replay (hits), and
+// multicast vs subcast from the same origin are distinct plans.
+func TestFloodPlanCacheCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 10, Depth: 4})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(0)
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, nullHost{})
+	}
+	root := tree.Root()
+	for i := 0; i < 3; i++ {
+		net.Multicast(root, &Packet{Class: Payload, Msg: dataMsg{}})
+		eng.Run()
+	}
+	if s := net.PlanStats(); s.Misses != 1 || s.Hits != 2 || s.Evictions != 0 {
+		t.Fatalf("after 3 multicasts: stats = %+v, want 1 miss 2 hits", s)
+	}
+	// A subcast from the same origin is a different plan key.
+	net.Subcast(root, &Packet{Class: Payload, From: root, Msg: reqMsg{}})
+	eng.Run()
+	if s := net.PlanStats(); s.Misses != 2 || s.Hits != 2 {
+		t.Fatalf("after subcast: stats = %+v, want 2 misses 2 hits", s)
+	}
+}
+
+// TestFloodPlanScanResistance pins the admission policy with a budget
+// that fits exactly one plan: the resident plan survives a one-shot
+// miss from another origin (first-touch misses are not admitted under
+// pressure), and only an origin that re-misses within the recency
+// window may displace it.
+func TestFloodPlanScanResistance(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(2), topology.GenSpec{Receivers: 8, Depth: 3})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(tree.NumNodes()) // exactly one full plan
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, nullHost{})
+	}
+	a := tree.Root()
+	b := tree.Receivers()[0]
+	cast := func(origin topology.NodeID) {
+		net.Multicast(origin, &Packet{Class: Payload, Msg: dataMsg{}})
+		eng.Run()
+	}
+	cast(a) // miss, cache empty: admitted
+	cast(b) // miss, would evict, first touch: NOT admitted
+	cast(a) // must still be resident
+	if s := net.PlanStats(); s.Hits != 1 || s.Misses != 2 || s.Evictions != 0 {
+		t.Fatalf("after one-shot sweep: stats = %+v, want resident survivor (1 hit, 2 misses, 0 evictions)", s)
+	}
+	cast(b) // second miss within the window: admitted, evicts a
+	if s := net.PlanStats(); s.Misses != 3 || s.Evictions != 1 {
+		t.Fatalf("after re-miss: stats = %+v, want admission with 1 eviction", s)
+	}
+	cast(b) // now resident
+	if s := net.PlanStats(); s.Hits != 2 {
+		t.Fatalf("after replacement: stats = %+v, want 2 hits", s)
+	}
+}
+
+// TestFloodPlanTooLargeNeverCached: a budget below the tree size can
+// never hold a plan; every flood falls back to the DFS and still
+// delivers.
+func TestFloodPlanTooLargeNeverCached(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(3), topology.GenSpec{Receivers: 8, Depth: 3})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(tree.NumNodes() - 1)
+	rec := &recorder{}
+	net.AttachHost(tree.Receivers()[0], rec)
+	for i := 0; i < 4; i++ {
+		net.Multicast(tree.Root(), &Packet{Class: Payload, Msg: dataMsg{}})
+		eng.Run()
+	}
+	if s := net.PlanStats(); s.Hits != 0 || s.Misses != 4 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want pure misses", s)
+	}
+	if len(rec.got) != 4 {
+		t.Fatalf("DFS fallback delivered %d packets, want 4", len(rec.got))
+	}
+}
+
+// TestFloodPlanAttachHostInvalidates: host flags are baked into plans,
+// so attaching a host after a plan is cached must purge and recompile —
+// the new host receives subsequent floods.
+func TestFloodPlanAttachHostInvalidates(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(4), topology.GenSpec{Receivers: 6, Depth: 3})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(0)
+	rs := tree.Receivers()
+	net.AttachHost(rs[0], nullHost{})
+	net.Multicast(tree.Root(), &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	late := &recorder{}
+	net.AttachHost(rs[1], late)
+	net.Multicast(tree.Root(), &Packet{Class: Payload, Msg: dataMsg{}})
+	eng.Run()
+	if len(late.got) != 1 {
+		t.Fatalf("late-attached host got %d deliveries, want 1 (stale plan?)", len(late.got))
+	}
+	if s := net.PlanStats(); s.Evictions != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want invalidation counted as 1 eviction and a recompile miss", s)
+	}
+}
+
+// TestFloodPlanAllocationFree is the strict version of
+// TestFloodFastPathAllocationFree for plan replay: with no-op hosts a
+// warm cached flood performs zero heap allocations.
+func TestFloodPlanAllocationFree(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(0)
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, nullHost{})
+	}
+	pkt := &Packet{Class: Payload, Msg: dataMsg{}}
+	for i := 0; i < 8; i++ {
+		net.Multicast(tree.Root(), pkt)
+		eng.Run()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		net.Multicast(tree.Root(), pkt)
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("plan replay allocates %.1f objects per flood, want 0", avg)
+	}
+}
+
+// BenchmarkFloodPlan measures a warm cached flood end to end
+// (replay + engine dispatch of the deliveries); compare against
+// BenchmarkMulticastFlood, the identical workload on the DFS path.
+func BenchmarkFloodPlan(b *testing.B) {
+	eng := sim.NewEngine()
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
+	net := New(eng, tree, DefaultConfig())
+	net.EnableFloodPlans(0)
+	for _, r := range tree.Receivers() {
+		net.AttachHost(r, &recorder{})
+	}
+	pkt := &Packet{Class: Payload, Msg: dataMsg{}}
+	net.Multicast(tree.Root(), pkt)
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Multicast(tree.Root(), pkt)
+		eng.Run()
+	}
+}
+
+// BenchmarkFloodPlanLarge is the same comparison on a 1000-receiver
+// tree, where the DFS's per-node stack traffic and visited stamps cost
+// the most.
+func BenchmarkFloodPlanLarge(b *testing.B) {
+	for _, plans := range []bool{false, true} {
+		name := "dfs"
+		if plans {
+			name = "plan"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 1000, Depth: 8})
+			net := New(eng, tree, DefaultConfig())
+			if plans {
+				net.EnableFloodPlans(0)
+			}
+			for _, r := range tree.Receivers() {
+				net.AttachHost(r, nullHost{})
+			}
+			pkt := &Packet{Class: Payload, Msg: dataMsg{}}
+			net.Multicast(tree.Root(), pkt)
+			eng.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Multicast(tree.Root(), pkt)
+				eng.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkHostLookup pins the satellite win of replacing the
+// per-delivery map probe with a dense NodeID-indexed slice: the two
+// sub-benchmarks perform the identical mixed hit/miss lookup sweep a
+// flood's delivery loop performs.
+func BenchmarkHostLookup(b *testing.B) {
+	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 1000, Depth: 8})
+	m := make(map[topology.NodeID]Host, tree.NumReceivers())
+	dense := make([]Host, tree.NumNodes())
+	for _, r := range tree.Receivers() {
+		m[r] = nullHost{}
+		dense[r] = nullHost{}
+	}
+	n := tree.NumNodes()
+	b.Run("map", func(b *testing.B) {
+		hit := 0
+		for i := 0; i < b.N; i++ {
+			if h, ok := m[topology.NodeID(i%n)]; ok && h != nil {
+				hit++
+			}
+		}
+		sinkInt = hit
+	})
+	b.Run("dense", func(b *testing.B) {
+		hit := 0
+		for i := 0; i < b.N; i++ {
+			if h := dense[topology.NodeID(i%n)]; h != nil {
+				hit++
+			}
+		}
+		sinkInt = hit
+	})
+}
+
+// sinkInt defeats dead-code elimination in benchmarks.
+var sinkInt int

@@ -435,7 +435,9 @@ func (e *Engine) stepSharded() bool {
 		// stepping a known count avoids rescanning the prefix per event.
 		k := n
 		if k == 0 {
+			// The head is unlabeled: a true barrier, dispatched alone.
 			k = 1
+			e.barrierEvents++
 		}
 		for i := 0; i < k; i++ {
 			if !e.Step() {

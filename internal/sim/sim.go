@@ -146,6 +146,11 @@ type Engine struct {
 	// executed counts events that have been dispatched, for diagnostics
 	// and run-away detection in tests.
 	executed uint64
+	// barrierEvents counts unlabeled (GlobalShard) events the sharded
+	// loop dispatched as barriers. Zero in serial runs; in sharded runs
+	// it measures how much of the event stream still serializes, which
+	// is what the shard-labeling work drives down.
+	barrierEvents uint64
 
 	// shards is non-empty once EnableSharding has been called; Run then
 	// uses the batch dispatch loop in shard.go. batch is the current
@@ -232,6 +237,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // Executed returns the number of events dispatched so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// BarrierEvents returns the number of unlabeled events the sharded
+// dispatch loop executed as serial barriers; always zero for serial
+// runs.
+func (e *Engine) BarrierEvents() uint64 { return e.barrierEvents }
 
 // Pending returns the number of live (non-cancelled) scheduled events.
 func (e *Engine) Pending() int { return e.live }

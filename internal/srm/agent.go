@@ -76,6 +76,40 @@ type streamState struct {
 	// and sequence numbers are contiguous from 0 by construction.
 	losses  []*lossRecord
 	replies []*replyState
+
+	// replyArena and lossArena are chunk allocators for the records the
+	// windows point at: one record is created per classified sequence
+	// number, and allocating them individually made these two sites the
+	// top allocators of a full-scale run. Each chunk hands out its zeroed
+	// slots exactly once; a chunk is reclaimed when the window release
+	// drops the last pointer into it, a lag bounded by the chunk size.
+	replyArena []replyState
+	lossArena  []lossRecord
+}
+
+// arenaChunk is the record-arena chunk size: large enough to cut the
+// per-record allocation count by that factor, small enough that a
+// chunk pinned by one straggling record costs a few KB.
+const arenaChunk = 64
+
+// newReply hands out one zeroed replyState from the arena.
+func (st *streamState) newReply() *replyState {
+	if len(st.replyArena) == 0 {
+		st.replyArena = make([]replyState, arenaChunk)
+	}
+	rs := &st.replyArena[0]
+	st.replyArena = st.replyArena[1:]
+	return rs
+}
+
+// newLoss hands out one zeroed lossRecord from the arena.
+func (st *streamState) newLoss() *lossRecord {
+	if len(st.lossArena) == 0 {
+		st.lossArena = make([]lossRecord, arenaChunk)
+	}
+	ls := &st.lossArena[0]
+	st.lossArena = st.lossArena[1:]
+	return ls
 }
 
 func newStreamState(source topology.NodeID) *streamState {
@@ -144,7 +178,7 @@ func (st *streamState) ensureReply(seq int) *replyState {
 	}
 	rs := st.replies[idx]
 	if rs == nil {
-		rs = &replyState{}
+		rs = st.newReply()
 		st.replies[idx] = rs
 	}
 	return rs
@@ -183,10 +217,11 @@ func (st *streamState) releasableThrough(now sim.Time) int {
 
 // releaseThrough discards per-packet state below n. The caller
 // guarantees n is releasable on every live host, so nothing live is
-// dropped; surviving tails are copied to fresh arrays so the prefix is
-// actually reclaimable, not pinned by slice capacity. No engine
-// operations happen here — timers are never cancelled — so release is
-// invisible to the run's event stream, finish time and fingerprint.
+// dropped; surviving tails shift to the front of their arrays and the
+// vacated cells are zeroed so everything they referenced is
+// reclaimable. No engine operations happen here — timers are never
+// cancelled — so release is invisible to the run's event stream,
+// finish time and fingerprint.
 func (st *streamState) releaseThrough(n int) {
 	if n > st.held {
 		n = st.held
@@ -201,15 +236,23 @@ func (st *streamState) releaseThrough(n int) {
 	st.base = n
 }
 
-// dropPrefix returns s without its first drop elements, in a fresh
-// exact-size backing array (nil when nothing survives).
+// dropPrefix returns s without its first drop elements, shifting the
+// survivors to the front in place and zeroing the vacated tail so
+// anything it referenced is reclaimable. The backing array is kept:
+// its capacity is bounded by the peak in-flight window, not the run
+// length, and retaining it lets the steady release→refill cycle run
+// allocation-free — the old copy-to-a-fresh-exact-size-array strategy
+// made every release allocate a tail that the very next window append
+// had to grow again, churn that ranked among the top allocators of a
+// full-scale run.
 func dropPrefix[T any](s []T, drop int) []T {
 	if drop >= len(s) {
-		return nil
+		clear(s)
+		return s[:0]
 	}
-	tail := make([]T, len(s)-drop)
-	copy(tail, s[drop:])
-	return tail
+	n := copy(s, s[drop:])
+	clear(s[n:])
+	return s[:n]
 }
 
 // window returns the number of per-seq cells currently retained across
@@ -625,7 +668,8 @@ func (a *Agent) detectLoss(now sim.Time, st *streamState, seq int) {
 	if st.loss(seq) != nil {
 		return
 	}
-	ls := &lossRecord{detectedAt: now}
+	ls := st.newLoss()
+	ls.detectedAt = now
 	st.setLoss(seq, ls)
 	a.outstanding++
 	a.scheduleRequest(st, ls, seq)

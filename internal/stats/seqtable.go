@@ -98,9 +98,13 @@ func (t *seqTable[T]) forEach(fn func(host, source topology.NodeID, seq int, v *
 }
 
 // releaseThrough discards, on every host, the cells of the given
-// source's stream with sequence numbers below n. The surviving tail is
-// copied to a fresh backing array so the dropped prefix is actually
-// reclaimable, not pinned by slice capacity.
+// source's stream with sequence numbers below n. The surviving tail
+// shifts to the front in place and the vacated cells are zeroed so
+// their contents are reclaimable; the backing array is kept, since its
+// capacity is bounded by the peak in-flight window and reusing it
+// keeps the steady release→refill cycle allocation-free (copying to a
+// fresh exact-size array made every release allocate a tail the next
+// ensure had to grow again).
 func (t *seqTable[T]) releaseThrough(source topology.NodeID, n int) {
 	for h := range t.hosts {
 		for i := range t.hosts[h] {
@@ -110,11 +114,12 @@ func (t *seqTable[T]) releaseThrough(source topology.NodeID, n int) {
 			}
 			drop := n - s.base
 			if drop >= len(s.vals) {
-				s.vals = nil
+				clear(s.vals)
+				s.vals = s.vals[:0]
 			} else {
-				tail := make([]T, len(s.vals)-drop)
-				copy(tail, s.vals[drop:])
-				s.vals = tail
+				k := copy(s.vals, s.vals[drop:])
+				clear(s.vals[k:])
+				s.vals = s.vals[:k]
 			}
 			s.base = n
 		}

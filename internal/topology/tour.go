@@ -1,0 +1,137 @@
+// Flood tours: the flattened Euler-tour representation of a flood's
+// traversal, precomputed per origin so the network simulator can replay
+// a multicast fan-out as a linear scan instead of re-walking the tree.
+//
+// The fast (non-queuing) flood in internal/netsim is a LIFO DFS with a
+// load-bearing visit discipline: when a node is popped it first delivers
+// (drawing jitter), then checks its neighbors' links in a fixed order —
+// children in tree order, then the parent — where each check is
+// sever-test → crossing-count → drop-test, and survivors are pushed. A
+// tour records, for a fixed origin, exactly the pop order and link-check
+// order that walk produces when nothing is severed or dropped.
+//
+// Two structural facts make the tour replayable under arbitrary drops:
+//
+//  1. Region contiguity. In a LIFO DFS over a tree, the set of entries
+//     reached through a pushed neighbor (its "region") occupies a
+//     contiguous span of the pop order, beginning at the neighbor
+//     itself; sibling regions appear in reverse push order. Span is
+//     that length, so "skip this subtree" is a single index jump.
+//  2. Drop locality. The link checks a popped node performs depend only
+//     on the topology and where the walk entered it — never on drop
+//     outcomes elsewhere, because a tree has a unique path to every
+//     node, so a dropped neighbor's region contains every node the drop
+//     hides. Dropping a link therefore deletes its region from the pop
+//     order without reordering, re-timing or re-checking anything else.
+//
+// Replaying a tour — skipping the regions of severed or dropped links —
+// thus reproduces the DFS's exact delivery order, link-check order and
+// RNG draw order, which is what keeps run fingerprints byte-identical.
+package topology
+
+// TourEntry is one visited node of a flood tour, in exactly the order
+// the fast flood's LIFO DFS pops nodes.
+type TourEntry struct {
+	// Node is the visited node; the first entry is the tour origin.
+	Node NodeID
+	// Hops is the link count from the origin along the traversal path.
+	Hops int32
+	// Span is the size of this node's region: this entry plus every
+	// entry the walk reached through it. Skipping a dropped node means
+	// advancing Span entries.
+	Span int32
+	// OpsEnd is the end of this entry's link-check range in Tour.Ops.
+	// Ops are emitted in pop order, so the range starts at the previous
+	// entry's OpsEnd (0 for the first entry).
+	OpsEnd int32
+}
+
+// TourOp is one link check a popped node performs, in check order:
+// children in tree order, then the parent (full floods only).
+type TourOp struct {
+	// Link is the checked link, identified by its downstream endpoint
+	// as everywhere else.
+	Link LinkID
+	// Region is the index of the entry that starts the neighbor's
+	// region: the entry to mark skipped when the check severs or drops.
+	Region int32
+	// Down reports the crossing direction: true when descending to a
+	// child, false when climbing the node's own inbound link.
+	Down bool
+}
+
+// Tour is the flattened Euler-tour of a flood from one origin. The zero
+// value is an empty tour; build one with Tree.FloodTour.
+type Tour struct {
+	Entries []TourEntry
+	Ops     []TourOp
+}
+
+// FloodTour computes the flood tour from origin. downOnly restricts the
+// walk to descendants (the subcast primitive); otherwise the walk covers
+// the whole tree. The builder mirrors the fast flood's traversal with
+// every sever and drop test answering "pass", so the tour is a pure
+// function of the topology.
+func (t *Tree) FloodTour(origin NodeID, downOnly bool) Tour {
+	n := t.NumNodes()
+	// item is one worklist entry: the node, its hop count, the index of
+	// the op that pushed it (-1 for the origin) and the entry index of
+	// the node that issued that op (-1 for the origin).
+	type item struct {
+		node          NodeID
+		hops          int32
+		opIdx, parent int32
+	}
+	sizeHint := n
+	if downOnly {
+		// Subcast tours cover only the subtree; still a fine upper bound
+		// for shallow roots, and exact for the full-tree case.
+		sizeHint = len(t.NodesBelow(origin))
+	}
+	tour := Tour{
+		Entries: make([]TourEntry, 0, sizeHint),
+		Ops:     make([]TourOp, 0, sizeHint),
+	}
+	parentEntry := make([]int32, 0, sizeHint)
+	visited := make([]bool, n)
+	stack := make([]item, 0, sizeHint)
+	stack = append(stack, item{origin, 0, -1, -1})
+	visited[origin] = true
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx := int32(len(tour.Entries))
+		if it.opIdx >= 0 {
+			tour.Ops[it.opIdx].Region = idx
+		}
+		parentEntry = append(parentEntry, it.parent)
+		for _, c := range t.children[it.node] {
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+			tour.Ops = append(tour.Ops, TourOp{Link: c, Down: true})
+			stack = append(stack, item{c, it.hops + 1, int32(len(tour.Ops) - 1), idx})
+		}
+		if !downOnly {
+			if p := t.parent[it.node]; p != None && !visited[p] {
+				visited[p] = true
+				tour.Ops = append(tour.Ops, TourOp{Link: it.node, Down: false})
+				stack = append(stack, item{p, it.hops + 1, int32(len(tour.Ops) - 1), idx})
+			}
+		}
+		tour.Entries = append(tour.Entries, TourEntry{
+			Node:   it.node,
+			Hops:   it.hops,
+			Span:   1,
+			OpsEnd: int32(len(tour.Ops)),
+		})
+	}
+	// Regions nest: a node's region contains its pushees' regions, and
+	// every pushee has a higher entry index than its pusher, so one
+	// reverse accumulation computes all spans.
+	for i := len(tour.Entries) - 1; i >= 1; i-- {
+		tour.Entries[parentEntry[i]].Span += tour.Entries[i].Span
+	}
+	return tour
+}
