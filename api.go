@@ -15,6 +15,7 @@ import (
 	"cesrm/internal/stats"
 	"cesrm/internal/topology"
 	"cesrm/internal/trace"
+	"cesrm/internal/wire"
 )
 
 // ---- Simulation core ----
@@ -96,8 +97,14 @@ type DropFunc = netsim.DropFunc
 // CrossingCounts aggregates link-crossing transmission cost.
 type CrossingCounts = netsim.CrossingCounts
 
-// NewNetwork builds a network over tree.
-func NewNetwork(eng *Engine, tree *Tree, cfg NetworkConfig) *Network {
+// NetworkConfigError is the typed error NewNetwork returns for a
+// configuration that fails validation.
+type NetworkConfigError = netsim.ConfigError
+
+// NewNetwork builds a network over tree. It returns a
+// *NetworkConfigError when cfg fails validation (non-positive
+// LinkDelay, Bandwidth, or PayloadBytes; negative ControlBytes).
+func NewNetwork(eng *Engine, tree *Tree, cfg NetworkConfig) (*Network, error) {
 	return netsim.New(eng, tree, cfg)
 }
 
@@ -308,6 +315,76 @@ func RunPair(t *Trace, cfg PairConfig) (*Pair, error) { return experiment.RunPai
 func VerifyDeterminism(cfg RunConfig, extra int) (*RunResult, error) {
 	return experiment.VerifyDeterminism(cfg, extra)
 }
+
+// ---- Wire mode ----
+
+// WireNodeConfig describes one real-UDP group member: tree, identity,
+// protocol, seed, source schedule, and nominal network parameters.
+type WireNodeConfig = wire.NodeConfig
+
+// WireNode is one live wire-mode process: a protocol agent driven from
+// real UDP sockets under a wall clock, optionally recording a capture.
+type WireNode = wire.Node
+
+// WireResult summarizes a completed wire-node run.
+type WireResult = wire.Result
+
+// WireProtocol selects which agent a wire node runs.
+type WireProtocol = wire.Protocol
+
+// Wire protocols.
+const (
+	WireSRM   = wire.ProtocolSRM
+	WireCESRM = wire.ProtocolCESRM
+)
+
+// WireProxy is the drop-injecting loopback forwarder used to make loss
+// reproducible in localhost harness runs.
+type WireProxy = wire.Proxy
+
+// WireCapture is a parsed NDJSON capture of one node's run.
+type WireCapture = wire.Capture
+
+// WireReport is the outcome of replaying a capture through the
+// deterministic simulator.
+type WireReport = wire.Report
+
+// WireDivergence is one conformance mismatch between a live capture and
+// its replay.
+type WireDivergence = wire.Divergence
+
+// NewWireNode builds a wire node bound to bind (e.g. "127.0.0.1:0");
+// captureW, when non-nil, receives the NDJSON capture.
+func NewWireNode(cfg WireNodeConfig, bind string, captureW io.Writer) (*WireNode, error) {
+	return wire.NewNode(cfg, bind, captureW)
+}
+
+// NewWireProxy binds the drop-injecting forwarder with the given drop
+// probability for data and repair packets, seeded for reproducibility.
+func NewWireProxy(bind string, dropProb float64, seed int64) (*WireProxy, error) {
+	return wire.NewProxy(bind, dropProb, seed)
+}
+
+// ReadWireCapture parses an NDJSON capture.
+func ReadWireCapture(r io.Reader) (*WireCapture, error) { return wire.ReadCapture(r) }
+
+// ReplayWireCapture replays a capture through the deterministic
+// simulator and reports every divergence from the live run — the
+// conformance oracle behind `cesrm-node -mode conform`.
+func ReplayWireCapture(c *WireCapture) (*WireReport, error) { return wire.Replay(c) }
+
+// LoadWireTree parses a cesrm-node tree file (a parent vector; -1 marks
+// the root, '#' starts a comment).
+func LoadWireTree(path string) (*Tree, error) { return wire.LoadTree(path) }
+
+// EncodePacket appends a packet's versioned wire encoding to buf. The
+// packet's message type must be registered (all SRM/CESRM/LMS messages
+// are).
+func EncodePacket(buf []byte, p *Packet) ([]byte, error) { return netsim.EncodePacket(buf, p) }
+
+// DecodePacket parses one wire-encoded packet; malformed input yields
+// an error, never a panic.
+func DecodePacket(data []byte) (*Packet, error) { return netsim.DecodePacket(data) }
 
 // ---- Fault injection ----
 

@@ -156,7 +156,10 @@ func TestPublicAPIManualAssembly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := cesrm.NewNetwork(eng, tree, cesrm.DefaultNetworkConfig())
+	net, err := cesrm.NewNetwork(eng, tree, cesrm.DefaultNetworkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	collector := cesrm.NewCollector()
 	rng := cesrm.NewRNG(1)
 

@@ -26,7 +26,10 @@ func main() {
 	streamB := tree.Receivers()[0]
 
 	eng := sim.NewEngine()
-	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	net, err := netsim.New(eng, tree, netsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	collector := stats.New()
 
 	// One CESRM agent per member (source + receivers).

@@ -65,7 +65,7 @@ type bed struct {
 func newBed(t *testing.T, tree *topology.Tree, cfg Config) *bed {
 	t.Helper()
 	eng := sim.NewEngine()
-	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	net := netsim.MustNew(eng, tree, netsim.DefaultConfig())
 	log := newObsLog()
 	b := &bed{eng: eng, net: net, tree: tree, agents: map[topology.NodeID]*Agent{}, log: log}
 	rng := sim.NewRNG(3)
@@ -388,7 +388,7 @@ func TestRouterAssistCachesTurningPoints(t *testing.T) {
 
 func TestNewAgentValidation(t *testing.T) {
 	eng := sim.NewEngine()
-	net := netsim.New(eng, yTree(), netsim.DefaultConfig())
+	net := netsim.MustNew(eng, yTree(), netsim.DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.ReorderDelay = -time.Second
 	if _, err := NewAgent(eng, net, sim.NewRNG(1), 2, cfg, nil); err == nil {

@@ -352,7 +352,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// Stage 2: build the simulated network with the loss-injection hook.
 	eng := sim.NewEngine()
 	eng.SetBudget(cfg.Budget)
-	net := netsim.New(eng, tree, cfg.Net)
+	net, err := netsim.New(eng, tree, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	if cfg.FloodPlanBudget >= 0 {
 		net.EnableFloodPlans(cfg.FloodPlanBudget)
 	}

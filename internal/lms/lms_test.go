@@ -54,7 +54,7 @@ func newBed(t *testing.T, refresh time.Duration) *bed {
 	t.Helper()
 	eng := sim.NewEngine()
 	tree := lmsTree()
-	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	net := netsim.MustNew(eng, tree, netsim.DefaultConfig())
 	fabric := NewFabric(eng, tree, refresh)
 	log := &obsLog{}
 	b := &bed{eng: eng, net: net, fabric: fabric, agents: map[topology.NodeID]*Agent{}, log: log}
@@ -272,7 +272,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 	eng := sim.NewEngine()
 	tree := lmsTree()
-	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	net := netsim.MustNew(eng, tree, netsim.DefaultConfig())
 	f := NewFabric(eng, tree, time.Second)
 	if _, err := NewAgent(eng, net, f, 3, Config{MaxBackoff: -1}, nil); err == nil {
 		t.Fatal("invalid config accepted by NewAgent")

@@ -20,6 +20,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"cesrm/internal/sim"
@@ -116,6 +117,23 @@ type DropFunc func(p *Packet, link topology.LinkID, down bool) bool
 // delivery path. A nil DupFunc duplicates nothing.
 type DupFunc func(p *Packet, at sim.Time) (extra time.Duration, dup bool)
 
+// ConfigError reports an invalid Config field rejected by Validate. It
+// is the typed error netsim.New returns so that callers (experiment.Run,
+// the CLIs) can distinguish a bad network configuration from other
+// construction failures.
+type ConfigError struct {
+	// Field names the offending Config field.
+	Field string
+	// Reason describes the constraint that was violated, including the
+	// rejected value.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("netsim: invalid config: %s %s", e.Field, e.Reason)
+}
+
 // Config holds the physical parameters of the simulated network.
 type Config struct {
 	// LinkDelay is the one-way propagation delay of every link
@@ -145,6 +163,28 @@ func DefaultConfig() Config {
 		PayloadBytes: 1024,
 		ControlBytes: 0,
 	}
+}
+
+// Validate rejects physically meaningless configurations before they
+// flow into delay arithmetic: a non-positive LinkDelay collapses (or
+// inverts) propagation, a non-positive or non-finite Bandwidth turns
+// serialization time into zero or garbage, and a non-positive
+// PayloadBytes makes payload packets free. ControlBytes may be zero —
+// the paper's control packets are costless — but not negative.
+func (c Config) Validate() error {
+	if c.LinkDelay <= 0 {
+		return &ConfigError{"LinkDelay", fmt.Sprintf("must be positive, got %v", c.LinkDelay)}
+	}
+	if !(c.Bandwidth > 0) || math.IsInf(c.Bandwidth, 0) {
+		return &ConfigError{"Bandwidth", fmt.Sprintf("must be positive and finite, got %v", c.Bandwidth)}
+	}
+	if c.PayloadBytes <= 0 {
+		return &ConfigError{"PayloadBytes", fmt.Sprintf("must be positive, got %d", c.PayloadBytes)}
+	}
+	if c.ControlBytes < 0 {
+		return &ConfigError{"ControlBytes", fmt.Sprintf("must be non-negative, got %d", c.ControlBytes)}
+	}
+	return nil
 }
 
 // CrossingCounts aggregates transmission cost in link-crossing units,
@@ -304,8 +344,12 @@ type floodVisit struct {
 	hops int
 }
 
-// New builds a network over tree using engine eng.
-func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
+// New builds a network over tree using engine eng. It returns a
+// *ConfigError when cfg fails Validate.
+func New(eng *sim.Engine, tree *topology.Tree, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := &Network{
 		eng:       eng,
 		tree:      tree,
@@ -322,6 +366,16 @@ func New(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
 	if cfg.Queuing {
 		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
 		n.busyUntil[1] = make([]sim.Time, tree.NumNodes())
+	}
+	return n, nil
+}
+
+// MustNew is New for configurations known valid at the call site (tests,
+// examples with literal defaults); it panics on a config error.
+func MustNew(eng *sim.Engine, tree *topology.Tree, cfg Config) *Network {
+	n, err := New(eng, tree, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return n
 }

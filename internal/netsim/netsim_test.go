@@ -45,7 +45,7 @@ func setup(t *testing.T, cfg Config) (*sim.Engine, *Network, map[topology.NodeID
 	t.Helper()
 	eng := sim.NewEngine()
 	tree := testTree(t)
-	net := New(eng, tree, cfg)
+	net := MustNew(eng, tree, cfg)
 	recs := make(map[topology.NodeID]*recorder)
 	for _, id := range []topology.NodeID{0, 3, 4, 6} {
 		r := &recorder{}
@@ -376,7 +376,7 @@ func TestClassAndModeStrings(t *testing.T) {
 func BenchmarkMulticastFlood(b *testing.B) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, &recorder{})
 	}
@@ -390,7 +390,7 @@ func BenchmarkMulticastFlood(b *testing.B) {
 func BenchmarkUnicastPath(b *testing.B) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	rs := tree.Receivers()
 	net.AttachHost(rs[0], &recorder{})
 	net.AttachHost(rs[len(rs)-1], &recorder{})
@@ -499,7 +499,7 @@ func TestFloodPathEquivalence(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Queuing = mode == queuing
 		eng := sim.NewEngine()
-		net := New(eng, tree, cfg)
+		net := MustNew(eng, tree, cfg)
 		if mode == planCache_ {
 			net.EnableFloodPlans(0)
 		}
@@ -626,7 +626,7 @@ func (o *orderTap) Deliver(now sim.Time, p *Packet) {
 func TestGroupedDeliveryOrderMatchesPerHost(t *testing.T) {
 	run := func(tree *topology.Tree, perHost, labeled bool, origin topology.NodeID) []orderEntry {
 		eng := sim.NewEngine()
-		net := New(eng, tree, DefaultConfig())
+		net := MustNew(eng, tree, DefaultConfig())
 		log := &orderLog{}
 		for _, r := range tree.Receivers() {
 			net.AttachHost(r, &orderTap{log: log, node: r})
@@ -676,7 +676,7 @@ func TestGroupedDeliveryOrderMatchesPerHost(t *testing.T) {
 func TestFloodFastPathAllocationFree(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, &recorder{})
 	}

@@ -25,7 +25,7 @@ func (nullHost) Deliver(sim.Time, *Packet) {}
 func TestFloodPlanReplayIdenticalSchedule(t *testing.T) {
 	run := func(tree *topology.Tree, plans bool, origin topology.NodeID, subcast bool, dropMod, sevMod int) map[topology.NodeID][]sim.Time {
 		eng := sim.NewEngine()
-		net := New(eng, tree, DefaultConfig())
+		net := MustNew(eng, tree, DefaultConfig())
 		if plans {
 			net.EnableFloodPlans(0)
 		}
@@ -110,7 +110,7 @@ func TestFloodPlanReplayIdenticalSchedule(t *testing.T) {
 func TestFloodPlanCacheCounters(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 10, Depth: 4})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(0)
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, nullHost{})
@@ -139,7 +139,7 @@ func TestFloodPlanCacheCounters(t *testing.T) {
 func TestFloodPlanScanResistance(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(2), topology.GenSpec{Receivers: 8, Depth: 3})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(tree.NumNodes()) // exactly one full plan
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, nullHost{})
@@ -172,7 +172,7 @@ func TestFloodPlanScanResistance(t *testing.T) {
 func TestFloodPlanTooLargeNeverCached(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(3), topology.GenSpec{Receivers: 8, Depth: 3})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(tree.NumNodes() - 1)
 	rec := &recorder{}
 	net.AttachHost(tree.Receivers()[0], rec)
@@ -194,7 +194,7 @@ func TestFloodPlanTooLargeNeverCached(t *testing.T) {
 func TestFloodPlanAttachHostInvalidates(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(4), topology.GenSpec{Receivers: 6, Depth: 3})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(0)
 	rs := tree.Receivers()
 	net.AttachHost(rs[0], nullHost{})
@@ -218,7 +218,7 @@ func TestFloodPlanAttachHostInvalidates(t *testing.T) {
 func TestFloodPlanAllocationFree(t *testing.T) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(0)
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, nullHost{})
@@ -243,7 +243,7 @@ func TestFloodPlanAllocationFree(t *testing.T) {
 func BenchmarkFloodPlan(b *testing.B) {
 	eng := sim.NewEngine()
 	tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 15, Depth: 5})
-	net := New(eng, tree, DefaultConfig())
+	net := MustNew(eng, tree, DefaultConfig())
 	net.EnableFloodPlans(0)
 	for _, r := range tree.Receivers() {
 		net.AttachHost(r, &recorder{})
@@ -271,7 +271,7 @@ func BenchmarkFloodPlanLarge(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			eng := sim.NewEngine()
 			tree := topology.MustGenerate(sim.NewRNG(1), topology.GenSpec{Receivers: 1000, Depth: 8})
-			net := New(eng, tree, DefaultConfig())
+			net := MustNew(eng, tree, DefaultConfig())
 			if plans {
 				net.EnableFloodPlans(0)
 			}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string // "" = valid
+	}{
+		{"default", func(*Config) {}, ""},
+		{"zero control bytes", func(c *Config) { c.ControlBytes = 0 }, ""},
+		{"zero bandwidth", func(c *Config) { c.Bandwidth = 0 }, "Bandwidth"},
+		{"zero link delay", func(c *Config) { c.LinkDelay = 0 }, "LinkDelay"},
+		{"negative link delay", func(c *Config) { c.LinkDelay = -1 }, "LinkDelay"},
+		{"negative bandwidth", func(c *Config) { c.Bandwidth = -1 }, "Bandwidth"},
+		{"NaN bandwidth", func(c *Config) { c.Bandwidth = math.NaN() }, "Bandwidth"},
+		{"inf bandwidth", func(c *Config) { c.Bandwidth = math.Inf(1) }, "Bandwidth"},
+		{"zero payload", func(c *Config) { c.PayloadBytes = 0 }, "PayloadBytes"},
+		{"negative payload", func(c *Config) { c.PayloadBytes = -5 }, "PayloadBytes"},
+		{"negative control", func(c *Config) { c.ControlBytes = -1 }, "ControlBytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var cerr *ConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("Validate() = %v, want *ConfigError", err)
+			}
+			if cerr.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", cerr.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	tree, err := topology.New([]topology.NodeID{topology.None, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.LinkDelay = 0
+	if _, err := New(eng, tree, cfg); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on an invalid config")
+		}
+	}()
+	MustNew(eng, tree, cfg)
+}

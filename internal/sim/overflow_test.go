@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The 4-level wheel spans 64^4 ticks of 2^20 ns each — about 4.9 hours
+// of virtual time — with an overflow list beyond that horizon, rescanned
+// whenever the cursor crosses a 64^4-tick-aligned boundary. Wall-clock
+// sessions (internal/wire) legitimately run past the horizon, so these
+// tests pin the boundary behavior: placement at/just past the horizon,
+// ordering across overflow re-promotion, Pending accounting, and
+// RunUntil far beyond the horizon.
+
+// horizonTicks is the wheel span in ticks; tickNs converts ticks to
+// virtual nanoseconds.
+const (
+	horizonTicks = 1 << (levelBits * numLevels)
+	tickNs       = 1 << tickBits
+)
+
+// tickTime returns the first instant of the given wheel tick.
+func tickTime(tick uint64) Time { return Time(tick * tickNs) }
+
+func TestHorizonBoundaryPlacement(t *testing.T) {
+	eng := NewEngine()
+	// From cursor 0: the last in-wheel tick, the first overflow tick,
+	// and one just past it — scheduled in reverse order to rule out
+	// accidental FIFO luck.
+	instants := []Time{
+		tickTime(horizonTicks + 1),
+		tickTime(horizonTicks), // first tick beyond the wheel span
+		tickTime(horizonTicks - 1),
+		tickTime(horizonTicks - 1).Add(tickNs - 1), // last ns of the last in-wheel tick
+	}
+	var got []Time
+	for _, at := range instants {
+		eng.ScheduleAt(at, func(now Time) { got = append(got, now) })
+	}
+	if eng.Pending() != len(instants) {
+		t.Fatalf("Pending() = %d before run, want %d", eng.Pending(), len(instants))
+	}
+	end := eng.Run()
+	want := []Time{
+		tickTime(horizonTicks - 1),
+		tickTime(horizonTicks - 1).Add(tickNs - 1),
+		tickTime(horizonTicks),
+		tickTime(horizonTicks + 1),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if end != want[len(want)-1] {
+		t.Errorf("final time %v, want %v", end, want[len(want)-1])
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("Pending() = %d after run, want 0", eng.Pending())
+	}
+}
+
+func TestSameInstantFIFOAcrossOverflowRepromotion(t *testing.T) {
+	eng := NewEngine()
+	at := tickTime(horizonTicks + 12345)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.ScheduleAt(at, func(Time) { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant overflow events fired as %v, want FIFO", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+// TestOverflowInterleavesWithWheelEvents pins the global (at, seq) order
+// when overflow re-promotion interleaves with events scheduled inside
+// the wheel span, including events scheduled mid-run from handlers.
+func TestOverflowInterleavesWithWheelEvents(t *testing.T) {
+	eng := NewEngine()
+	var got []Time
+	note := func(now Time) { got = append(got, now) }
+
+	// Deep overflow (several horizons out), shallow overflow, and
+	// in-wheel events, scheduled shuffled.
+	instants := []Time{
+		tickTime(3*horizonTicks + 7),
+		tickTime(horizonTicks / 2),
+		tickTime(2*horizonTicks - 1),
+		tickTime(horizonTicks + 3),
+		tickTime(5),
+		tickTime(2 * horizonTicks),
+	}
+	for _, at := range instants {
+		eng.ScheduleAt(at, note)
+	}
+	// A handler firing in-wheel schedules another overflow event: its
+	// tick is beyond the horizon relative to the *current* cursor.
+	eng.ScheduleAt(tickTime(10), func(now Time) {
+		got = append(got, now)
+		eng.ScheduleAt(now.Add(Duration(2*horizonTicks*tickNs)), note)
+	})
+	eng.Run()
+
+	want := []Time{
+		tickTime(5),
+		tickTime(10),
+		tickTime(horizonTicks / 2),
+		tickTime(horizonTicks + 3),
+		tickTime(2*horizonTicks - 1),
+		tickTime(2 * horizonTicks),
+		tickTime(10).Add(Duration(2 * horizonTicks * tickNs)),
+		tickTime(3*horizonTicks + 7),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPendingAcrossOverflowCancelAndRepromotion checks the live count
+// as events move between the overflow list and the wheel, and when
+// overflow residents are cancelled before or after a rescan boundary.
+func TestPendingAcrossOverflowCancelAndRepromotion(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	note := func(Time) { fired++ }
+
+	tEarly := eng.ScheduleAt(tickTime(1), note)
+	tOver1 := eng.ScheduleAt(tickTime(horizonTicks+1), note)
+	tOver2 := eng.ScheduleAt(tickTime(horizonTicks+2), note)
+	tDeep := eng.ScheduleAt(tickTime(2*horizonTicks+2), note)
+	if eng.Pending() != 4 {
+		t.Fatalf("Pending() = %d, want 4", eng.Pending())
+	}
+
+	// Cancel one overflow resident before any rescan.
+	eng.Cancel(tOver2)
+	if eng.Pending() != 3 {
+		t.Fatalf("Pending() = %d after overflow cancel, want 3", eng.Pending())
+	}
+	if tOver2.Active() {
+		t.Fatal("cancelled overflow timer still Active")
+	}
+
+	// Run past the first overflow event: it must have been re-promoted
+	// and fired; the deep one is still pending (now in the wheel or
+	// still in overflow depending on the cursor — either way live).
+	eng.RunUntil(tickTime(horizonTicks + 10))
+	if fired != 2 {
+		t.Fatalf("fired = %d after first horizon, want 2", fired)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending() = %d after first horizon, want 1", eng.Pending())
+	}
+	if tEarly.Active() || tOver1.Active() {
+		t.Fatal("fired timers still Active")
+	}
+
+	// Cancel the deep event after the first rescan but before it fires.
+	eng.Cancel(tDeep)
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after deep cancel, want 0", eng.Pending())
+	}
+	end := eng.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d at end, want 2", fired)
+	}
+	if end != tickTime(horizonTicks+10) {
+		t.Errorf("clock moved to %v after cancelling all remaining events", end)
+	}
+}
+
+// TestNextEventAtSeesThroughOverflow verifies the exported peek finds
+// an event that lives beyond the wheel horizon without dispatching it.
+func TestNextEventAtSeesThroughOverflow(t *testing.T) {
+	eng := NewEngine()
+	at := tickTime(horizonTicks + 99)
+	fired := false
+	eng.ScheduleAt(at, func(Time) { fired = true })
+	next, ok := eng.NextEventAt()
+	if !ok || next != at {
+		t.Fatalf("NextEventAt() = %v, %v; want %v, true", next, ok, at)
+	}
+	if fired {
+		t.Fatal("NextEventAt dispatched the event")
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending() = %d after peek, want 1", eng.Pending())
+	}
+	// Peeking must not perturb subsequent scheduling or dispatch.
+	var order []Time
+	eng.ScheduleAt(at, func(now Time) { order = append(order, now) })
+	eng.Run()
+	if !fired || len(order) != 1 {
+		t.Fatalf("after run: fired=%v extra=%d, want true/1", fired, len(order))
+	}
+	if _, ok := eng.NextEventAt(); ok {
+		t.Fatal("NextEventAt reports an event on a drained engine")
+	}
+}
+
+// TestRunUntilFarPastHorizon drives a self-rescheduling session-style
+// timer across several wheel horizons — the wall-clock wire mode's
+// long-session shape — checking the firing count and final clock.
+func TestRunUntilFarPastHorizon(t *testing.T) {
+	eng := NewEngine()
+	period := Duration(time.Hour) // ~1/5 of the horizon
+	const total = 24              // 24 virtual hours ≈ 5 horizons
+	fires := 0
+	var tick func(Time)
+	tick = func(Time) {
+		fires++
+		if fires < total {
+			eng.Schedule(period, tick)
+		}
+	}
+	eng.Schedule(period, tick)
+	deadline := Time(0).Add(Duration(total) * period).Add(Duration(time.Minute))
+	end := eng.RunUntil(deadline)
+	if fires != total {
+		t.Fatalf("fires = %d, want %d", fires, total)
+	}
+	if end != deadline {
+		t.Fatalf("RunUntil ended at %v, want deadline %v", end, deadline)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", eng.Pending())
+	}
+}

@@ -666,3 +666,11 @@ func (e *Engine) peek() (Time, bool) {
 	}
 	return e.due.head.at, true
 }
+
+// NextEventAt reports the instant of the earliest pending event without
+// executing it, or false when no live events remain. Wall-clock drivers
+// (internal/wire) use it to sleep exactly until the next virtual
+// deadline instead of polling. Like Step it may advance the internal
+// wheel cursor to stage the next tick's events; the observable dispatch
+// order is unaffected.
+func (e *Engine) NextEventAt() (Time, bool) { return e.peek() }

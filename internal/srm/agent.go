@@ -861,7 +861,14 @@ func (a *Agent) onSession(now sim.Time, m *SessionMsg) {
 			}
 		}
 	}
-	for src, highest := range m.Highest {
+	// Iterate sources in sorted order: each iteration may schedule an
+	// engine event, and Go map order would make event sequence numbers —
+	// and therefore the run fingerprint — nondeterministic as soon as a
+	// session message advertises two or more sources. (The wire mode's
+	// replay oracle turned this sim-only latent assumption into a
+	// hard requirement.)
+	for _, src := range sortedNodeKeys(m.Highest) {
+		highest := m.Highest[src]
 		if highest < 0 {
 			continue
 		}

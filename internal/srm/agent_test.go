@@ -68,7 +68,7 @@ type fixture struct {
 func newFixture(t *testing.T, tree *topology.Tree, p Params) *fixture {
 	t.Helper()
 	eng := sim.NewEngine()
-	net := netsim.New(eng, tree, netsim.DefaultConfig())
+	net := netsim.MustNew(eng, tree, netsim.DefaultConfig())
 	log := &eventLog{}
 	f := &fixture{eng: eng, net: net, tree: tree, agents: map[topology.NodeID]*Agent{}, log: log}
 	hosts := append([]topology.NodeID{tree.Root()}, tree.Receivers()...)
@@ -551,7 +551,7 @@ func TestParamsValidate(t *testing.T) {
 
 func TestNewAgentRejectsInvalidParams(t *testing.T) {
 	eng := sim.NewEngine()
-	net := netsim.New(eng, yTree(), netsim.DefaultConfig())
+	net := netsim.MustNew(eng, yTree(), netsim.DefaultConfig())
 	p := DefaultParams()
 	p.SessionPeriod = 0
 	if _, err := NewAgent(eng, net, sim.NewRNG(1), 2, p, nil, nil); err == nil {

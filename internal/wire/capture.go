@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/srm"
+	"cesrm/internal/stats"
+	"cesrm/internal/topology"
+)
+
+// CaptureVersion is the capture file format version.
+const CaptureVersion = 1
+
+// Header is the first line of a capture: everything Replay needs to
+// reconstruct the node deterministically — the topology, the node's
+// identity and seed, the source schedule, and the protocol parameters.
+type Header struct {
+	Version  int      `json:"version"`
+	Node     int      `json:"node"`
+	Protocol Protocol `json:"protocol"`
+	Seed     int64    `json:"seed"`
+	// Parents is the tree's parent vector (-1 for the root).
+	Parents       []topology.NodeID `json:"parents"`
+	NumPackets    int               `json:"packets"`
+	PeriodNS      int64             `json:"period_ns"`
+	WarmupNS      int64             `json:"warmup_ns"`
+	SRM           srm.Params        `json:"srm"`
+	ReorderNS     int64             `json:"reorder_ns"`
+	CacheCapacity int               `json:"cache_capacity"`
+	Net           netsim.Config     `json:"net"`
+	LingerNS      int64             `json:"linger_ns"`
+	SourceNS      int64             `json:"source_linger_ns"`
+	MaxRunNS      int64             `json:"max_run_ns"`
+}
+
+// Record is one capture line after the header. Kinds:
+//
+//	recv — a datagram folded into the event stream at AtNS (the
+//	       clamped arrival instant), Data its hex-encoded bytes
+//	send — a logical send (one line per Multicast/Unicast/subcast
+//	       call, not per destination), Data its encoded bytes
+//	obs  — a protocol event from the stats observer
+//	end  — the footer: final virtual time, whether the node stopped
+//	       itself (vs an external halt), and whether it completed
+type Record struct {
+	Kind  string       `json:"kind"`
+	AtNS  int64        `json:"at_ns"`
+	Data  string       `json:"data,omitempty"`
+	Event *stats.Event `json:"event,omitempty"`
+	// Label is Event.Kind rendered for humans; ignored on read.
+	Label     string `json:"label,omitempty"`
+	Stopped   bool   `json:"stopped,omitempty"`
+	Completed bool   `json:"completed,omitempty"`
+}
+
+const (
+	recKindRecv = "recv"
+	recKindSend = "send"
+	recKindObs  = "obs"
+	recKindEnd  = "end"
+)
+
+// newHeader snapshots cfg into a capture header.
+func newHeader(cfg NodeConfig) Header {
+	return Header{
+		Version:       CaptureVersion,
+		Node:          int(cfg.ID),
+		Protocol:      cfg.Protocol,
+		Seed:          cfg.Seed,
+		Parents:       cfg.Tree.ParentVector(),
+		NumPackets:    cfg.NumPackets,
+		PeriodNS:      int64(cfg.Period),
+		WarmupNS:      int64(cfg.Warmup),
+		SRM:           cfg.SRM,
+		ReorderNS:     int64(cfg.ReorderDelay),
+		CacheCapacity: cfg.CacheCapacity,
+		Net:           cfg.Net,
+		LingerNS:      int64(cfg.Linger),
+		SourceNS:      int64(cfg.SourceLinger),
+		MaxRunNS:      int64(cfg.MaxRunTime),
+	}
+}
+
+// NodeConfig reconstructs the run configuration a header describes.
+func (h Header) NodeConfig() (NodeConfig, error) {
+	if h.Version != CaptureVersion {
+		return NodeConfig{}, fmt.Errorf("wire: unsupported capture version %d (want %d)", h.Version, CaptureVersion)
+	}
+	tree, err := topology.New(h.Parents)
+	if err != nil {
+		return NodeConfig{}, fmt.Errorf("wire: capture tree: %w", err)
+	}
+	cfg := NodeConfig{
+		Tree:          tree,
+		ID:            topology.NodeID(h.Node),
+		Protocol:      h.Protocol,
+		Seed:          h.Seed,
+		NumPackets:    h.NumPackets,
+		Period:        time.Duration(h.PeriodNS),
+		Warmup:        time.Duration(h.WarmupNS),
+		SRM:           h.SRM,
+		ReorderDelay:  time.Duration(h.ReorderNS),
+		CacheCapacity: h.CacheCapacity,
+		Net:           h.Net,
+		Linger:        time.Duration(h.LingerNS),
+		SourceLinger:  time.Duration(h.SourceNS),
+		MaxRunTime:    time.Duration(h.MaxRunNS),
+	}
+	return cfg, cfg.Validate()
+}
+
+// CaptureWriter streams a capture as NDJSON. It is used from the driver
+// goroutine only.
+type CaptureWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewCaptureWriter writes the header and returns the writer.
+func NewCaptureWriter(w io.Writer, cfg NodeConfig) (*CaptureWriter, error) {
+	bw := bufio.NewWriter(w)
+	cw := &CaptureWriter{w: bw, enc: json.NewEncoder(bw)}
+	if err := cw.enc.Encode(newHeader(cfg)); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+func (c *CaptureWriter) record(r Record) {
+	if c.err == nil {
+		c.err = c.enc.Encode(r)
+	}
+}
+
+// Recv records a folded-in datagram.
+func (c *CaptureWriter) Recv(at sim.Time, data []byte) {
+	c.record(Record{Kind: recKindRecv, AtNS: int64(at), Data: hex.EncodeToString(data)})
+}
+
+// Send records a logical send.
+func (c *CaptureWriter) Send(at sim.Time, data []byte) {
+	c.record(Record{Kind: recKindSend, AtNS: int64(at), Data: hex.EncodeToString(data)})
+}
+
+// Obs records a protocol event.
+func (c *CaptureWriter) Obs(ev stats.Event) {
+	e := ev
+	c.record(Record{Kind: recKindObs, AtNS: int64(ev.At), Event: &e, Label: ev.Kind.String()})
+}
+
+// End writes the footer and flushes. It returns the first error
+// encountered anywhere in the stream.
+func (c *CaptureWriter) End(at sim.Time, stopped, completed bool) error {
+	c.record(Record{Kind: recKindEnd, AtNS: int64(at), Stopped: stopped, Completed: completed})
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}
+
+// Capture is a fully parsed capture file.
+type Capture struct {
+	Header  Header
+	Records []Record
+	// End is the footer (also the last element semantically; kept
+	// separate for convenience).
+	End Record
+}
+
+// ReadCapture parses an NDJSON capture.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: empty capture")
+	}
+	c := &Capture{}
+	if err := json.Unmarshal(sc.Bytes(), &c.Header); err != nil {
+		return nil, fmt.Errorf("wire: capture header: %w", err)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("wire: capture line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case recKindRecv, recKindSend, recKindObs:
+			c.Records = append(c.Records, rec)
+		case recKindEnd:
+			c.End = rec
+		default:
+			return nil, fmt.Errorf("wire: capture line %d: unknown record kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.End.Kind != recKindEnd {
+		return nil, fmt.Errorf("wire: capture has no end record (truncated?)")
+	}
+	return c, nil
+}

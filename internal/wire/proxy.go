@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/topology"
+)
+
+// Proxy is a loopback drop-injecting forwarder. Nodes configured with
+// SetProxy wrap each datagram in a [dst-uvarint][packet] envelope; the
+// proxy unwraps it, consults the seeded drop rule, and forwards the
+// packet to the destination member (or doesn't). It stands in for a
+// lossy network segment in localhost harness runs, making loss — the
+// condition the whole recovery protocol exists for — reproducible
+// enough to smoke-test without a real congested link.
+//
+// Only payload-class, non-session packets (original data and repair
+// replies) are eligible for drops: dropping session messages would
+// starve loss detection itself, which is a different failure mode than
+// the one the harness exercises. The eligibility test reads the codec's
+// fixed two-byte prefix, so the proxy never fully decodes traffic.
+type Proxy struct {
+	conn  *net.UDPConn
+	peers map[topology.NodeID]*net.UDPAddr
+
+	mu       sync.Mutex
+	rng      *sim.RNG
+	dropProb float64
+
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewProxy binds the proxy at bind with the given drop probability for
+// eligible packets, seeded for reproducible decision sequences.
+func NewProxy(bind string, dropProb float64, seed int64) (*Proxy, error) {
+	if dropProb < 0 || dropProb >= 1 {
+		return nil, fmt.Errorf("wire: drop probability %v outside [0, 1)", dropProb)
+	}
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("wire: proxy bind address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: proxy bind: %w", err)
+	}
+	return &Proxy{
+		conn:     conn,
+		peers:    map[topology.NodeID]*net.UDPAddr{},
+		rng:      sim.NewRNG(seed),
+		dropProb: dropProb,
+	}, nil
+}
+
+// LocalAddr returns the bound address.
+func (p *Proxy) LocalAddr() *net.UDPAddr { return p.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetPeer registers the address of member id.
+func (p *Proxy) SetPeer(id topology.NodeID, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: proxy peer %d address %q: %w", id, addr, err)
+	}
+	p.peers[id] = a
+	return nil
+}
+
+// droppable reports whether pkt (the unwrapped codec bytes) is
+// payload-class and not a session message.
+func droppable(pkt []byte) bool {
+	payload, session, ok := netsim.PeekFlags(pkt)
+	return ok && payload && !session
+}
+
+// Serve forwards envelopes until the socket closes (Close).
+func (p *Proxy) Serve() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		env := buf[:n]
+		dst, used := binary.Uvarint(env)
+		if used <= 0 || dst > uint64(topology.NodeID(1<<30)) {
+			continue
+		}
+		addr, ok := p.peers[topology.NodeID(dst)]
+		if !ok {
+			continue
+		}
+		pkt := env[used:]
+		if droppable(pkt) {
+			p.mu.Lock()
+			drop := p.rng.Float64() < p.dropProb
+			p.mu.Unlock()
+			if drop {
+				p.dropped.Add(1)
+				continue
+			}
+		}
+		if _, err := p.conn.WriteToUDP(pkt, addr); err == nil {
+			p.forwarded.Add(1)
+		}
+	}
+}
+
+// Close stops Serve.
+func (p *Proxy) Close() error { return p.conn.Close() }
+
+// Stats returns forwarded and dropped packet counts.
+func (p *Proxy) Stats() (forwarded, dropped uint64) {
+	return p.forwarded.Load(), p.dropped.Load()
+}

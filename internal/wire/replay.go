@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"cesrm/internal/netsim"
+	"cesrm/internal/sim"
+	"cesrm/internal/stats"
+)
+
+// Divergence is one mismatch between a live capture and its
+// deterministic replay.
+type Divergence struct {
+	// Index is the position in the capture's ordered send+obs stream.
+	Index int
+	// Want is the captured record, Got the replayed one (empty when the
+	// replay produced fewer records).
+	Want, Got string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("record %d:\n  capture: %s\n  replay:  %s", d.Index, d.Want, d.Got)
+}
+
+// Report is the outcome of replaying a capture through the simulator.
+type Report struct {
+	// Node is the replayed node's ID.
+	Node int
+	// Sends and Events count the capture's logical sends and protocol
+	// events.
+	Sends, Events int
+	// Recoveries counts EventRecovered records — the recovery decisions
+	// the oracle certifies — and Expedited how many were expedited.
+	Recoveries, Expedited int
+	// Divergences lists every mismatch, in stream order.
+	Divergences []Divergence
+}
+
+// OK reports a divergence-free replay.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Replay reconstructs the captured node inside the deterministic
+// simulator and feeds it the captured arrival stream, record by record,
+// using the same one-packet-at-a-time discipline as the live Driver:
+//
+//	RunUntil(at); ScheduleAt(at, deliver); RunUntil(at)
+//
+// per arrival, then RunUntil(end). The replayed node's outbound packet
+// bytes and protocol-event stream are compared against the capture in
+// order; any mismatch is a Divergence. A clean replay certifies that
+// the live node's recovery decisions — who requested, who replied,
+// expedited or fallback — are exactly what the simulator's semantics
+// prescribe for the traffic the node saw.
+func Replay(c *Capture) (*Report, error) {
+	cfg, err := c.Header.NodeConfig()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Node: int(cfg.ID)}
+
+	// The captured conformance stream: sends and observer events in
+	// emission order.
+	var want []Record
+	for _, rec := range c.Records {
+		if rec.Kind == recKindSend || rec.Kind == recKindObs {
+			want = append(want, rec)
+			if rec.Kind == recKindSend {
+				report.Sends++
+			} else {
+				report.Events++
+				if rec.Event != nil && rec.Event.Kind == stats.EventRecovered {
+					report.Recoveries++
+					if rec.Event.Expedited {
+						report.Expedited++
+					}
+				}
+			}
+		}
+	}
+
+	// Rebuild the node: same engine semantics, same endpoint behavior,
+	// but sends go nowhere — they are recorded for comparison instead.
+	eng := sim.NewEngine()
+	var got []Record
+	net := NewNetwork(cfg.Tree, cfg.Net, cfg.ID, eng.Now)
+	net.SetOnSend(func(at sim.Time, data []byte) {
+		got = append(got, Record{Kind: recKindSend, AtNS: int64(at), Data: hex.EncodeToString(data)})
+	})
+	obs := stats.NewRecorder(eng.Now)
+	obs.SetKeep(false)
+	obs.SetSink(func(ev stats.Event) {
+		e := ev
+		got = append(got, Record{Kind: recKindObs, AtNS: int64(ev.At), Event: &e})
+	})
+	if _, err := newSession(eng, net, cfg, obs); err != nil {
+		return nil, err
+	}
+
+	// Feed the arrival stream.
+	for i, rec := range c.Records {
+		if rec.Kind != recKindRecv {
+			continue
+		}
+		data, err := hex.DecodeString(rec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("wire: capture recv %d: %w", i, err)
+		}
+		p, err := netsim.DecodePacket(data)
+		if err != nil {
+			return nil, fmt.Errorf("wire: capture recv %d: %w", i, err)
+		}
+		at := sim.Time(rec.AtNS)
+		if at.Before(eng.Now()) {
+			// The live driver clamps arrivals to the engine clock, so a
+			// regressing instant means the capture is inconsistent.
+			return nil, fmt.Errorf("wire: capture recv %d at %v regresses before %v", i, at, eng.Now())
+		}
+		if eng.Stopped() {
+			break
+		}
+		eng.RunUntil(at)
+		if eng.Stopped() {
+			break
+		}
+		host := net.Host()
+		pkt := p
+		eng.ScheduleAt(at, func(now sim.Time) { host.Deliver(now, pkt) })
+		eng.RunUntil(at)
+	}
+	if !eng.Stopped() {
+		eng.RunUntil(sim.Time(c.End.AtNS))
+	}
+
+	// Compare the conformance streams element-wise.
+	max := len(want)
+	if len(got) > max {
+		max = len(got)
+	}
+	for i := 0; i < max; i++ {
+		var w, g string
+		if i < len(want) {
+			w = renderRecord(want[i])
+		}
+		if i < len(got) {
+			g = renderRecord(got[i])
+		}
+		if w != g {
+			report.Divergences = append(report.Divergences, Divergence{Index: i, Want: w, Got: g})
+			if len(report.Divergences) >= 20 {
+				break
+			}
+		}
+	}
+	return report, nil
+}
+
+// renderRecord canonicalizes a send/obs record for comparison and
+// diagnostics.
+func renderRecord(r Record) string {
+	switch r.Kind {
+	case recKindSend:
+		return fmt.Sprintf("send at=%d data=%s", r.AtNS, r.Data)
+	case recKindObs:
+		if r.Event == nil {
+			return fmt.Sprintf("obs at=%d <nil>", r.AtNS)
+		}
+		ev := r.Event
+		return fmt.Sprintf("obs at=%d kind=%s host=%d source=%d seq=%d round=%d exp=%v own=%d resched=%d req=%d rep=%d",
+			r.AtNS, ev.Kind, ev.Host, ev.Source, ev.Seq, ev.Round, ev.Expedited,
+			ev.OwnRequests, ev.Reschedules, ev.Requestor, ev.Replier)
+	default:
+		return fmt.Sprintf("%s at=%d", r.Kind, r.AtNS)
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"cesrm/internal/topology"
+)
+
+// maxDatagram bounds reads; the codec's packets are far smaller (a
+// payload-class packet is a few dozen bytes of header and varints — the
+// simulated 1 KB payload is accounting, not bytes on this wire).
+const maxDatagram = 64 * 1024
+
+// Transport is one node's UDP socket plus the group address book. The
+// group communicates by unicast fan-out on localhost/LAN: "multicast"
+// is a send to every other member's address. This sidesteps the
+// unreliable state of loopback IP-multicast in containers while keeping
+// delivery semantics identical; a true multicast socket can slot in
+// behind the same interface later.
+//
+// When a proxy address is set, every datagram is instead wrapped in a
+// [dst-uvarint][packet] envelope and sent to the proxy, which forwards
+// (or drops — that is its purpose) to the destination.
+type Transport struct {
+	conn  *net.UDPConn
+	self  topology.NodeID
+	peers map[topology.NodeID]*net.UDPAddr
+	proxy *net.UDPAddr
+
+	sent     atomic.Uint64
+	received atomic.Uint64
+}
+
+// NewTransport binds a UDP socket at bind (e.g. "127.0.0.1:0").
+func NewTransport(self topology.NodeID, bind string) (*Transport, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bind address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bind: %w", err)
+	}
+	return &Transport{
+		conn:  conn,
+		self:  self,
+		peers: map[topology.NodeID]*net.UDPAddr{},
+	}, nil
+}
+
+// LocalAddr returns the bound address (useful with port 0).
+func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetPeer registers the address of member id.
+func (t *Transport) SetPeer(id topology.NodeID, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: peer %d address %q: %w", id, addr, err)
+	}
+	t.peers[id] = a
+	return nil
+}
+
+// SetProxy routes all sends through the drop-injecting proxy at addr.
+func (t *Transport) SetProxy(addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: proxy address %q: %w", addr, err)
+	}
+	t.proxy = a
+	return nil
+}
+
+// Send transmits one encoded packet to member dst. Errors are returned
+// for wiring mistakes (unknown peer); I/O errors on a datagram socket
+// are reported but non-fatal to the protocol, which tolerates loss by
+// design.
+func (t *Transport) Send(dst topology.NodeID, data []byte) error {
+	if t.proxy != nil {
+		env := binary.AppendUvarint(make([]byte, 0, len(data)+2), uint64(dst))
+		env = append(env, data...)
+		_, err := t.conn.WriteToUDP(env, t.proxy)
+		if err == nil {
+			t.sent.Add(1)
+		}
+		return err
+	}
+	addr, ok := t.peers[dst]
+	if !ok {
+		return fmt.Errorf("wire: no address for member %d", dst)
+	}
+	_, err := t.conn.WriteToUDP(data, addr)
+	if err == nil {
+		t.sent.Add(1)
+	}
+	return err
+}
+
+// ReadLoop reads datagrams until the socket closes, handing each (with
+// its arrival wall-stamp) to fn on the reader goroutine. fn owns the
+// byte slice.
+func (t *Transport) ReadLoop(fn func(stamp time.Time, data []byte)) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		stamp := time.Now()
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		t.received.Add(1)
+		fn(stamp, data)
+	}
+}
+
+// Close closes the socket, ending ReadLoop.
+func (t *Transport) Close() error { return t.conn.Close() }
+
+// Stats returns datagrams sent and received so far.
+func (t *Transport) Stats() (sent, received uint64) {
+	return t.sent.Load(), t.received.Load()
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cesrm/internal/topology"
+)
+
+// ParseTree reads a parent-vector topology in the cesrm-node tree-file
+// format: integer tokens separated by whitespace or commas, where token
+// i is the parent of node i and -1 marks the root; '#' starts a comment
+// running to end of line. Example, the three-member smoke tree:
+//
+//	# root 0, two interior routers, receiver leaves 3 and 4
+//	-1 0 0 1 2
+//
+// Every group member must load an identical file — the tree is part of
+// the shared configuration a capture header embeds.
+func ParseTree(r io.Reader) (*topology.Tree, error) {
+	var parents []topology.NodeID
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		for _, tok := range strings.FieldsFunc(text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		}) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("wire: tree file line %d: bad parent %q", line, tok)
+			}
+			parents = append(parents, topology.NodeID(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(parents) == 0 {
+		return nil, fmt.Errorf("wire: tree file holds no nodes")
+	}
+	tree, err := topology.New(parents)
+	if err != nil {
+		return nil, fmt.Errorf("wire: tree file: %w", err)
+	}
+	return tree, nil
+}
+
+// LoadTree parses the tree file at path.
+func LoadTree(path string) (*topology.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseTree(f)
+}
+
+// ParsePeers parses a peer address book of the form
+// "0=127.0.0.1:7000,3=127.0.0.1:7003" into an id→address map.
+func ParsePeers(s string) (map[topology.NodeID]string, error) {
+	peers := map[topology.NodeID]string{}
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("wire: peer entry %q is not id=host:port", part)
+		}
+		v, err := strconv.Atoi(id)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("wire: peer entry %q has bad node id", part)
+		}
+		if _, dup := peers[topology.NodeID(v)]; dup {
+			return nil, fmt.Errorf("wire: duplicate peer entry for node %d", v)
+		}
+		peers[topology.NodeID(v)] = addr
+	}
+	return peers, nil
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Three-process localhost UDP smoke for the wire mode: a source and two
+# receivers exchange a short stream through the drop-injecting proxy,
+# every node must complete (i.e. recover every dropped packet), and
+# every capture must replay divergence-free through the deterministic
+# simulator (conform mode). Any non-completion or divergence fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${WIRE_SMOKE_PORT_BASE:-47630}"
+WORK="$(mktemp -d)"
+cleanup() {
+    local pids
+    pids="$(jobs -p)"
+    if [ -n "$pids" ]; then
+        # shellcheck disable=SC2086
+        kill $pids 2>/dev/null || true
+        wait 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/cesrm-node" ./cmd/cesrm-node
+
+# Tree: source 0 feeds interior routers 1 and 2; receivers 3 and 4.
+printf -- '-1 0 0 1 2\n' > "$WORK/tree.txt"
+
+PROXY="127.0.0.1:$BASE_PORT"
+A0="127.0.0.1:$((BASE_PORT + 1))"
+A3="127.0.0.1:$((BASE_PORT + 2))"
+A4="127.0.0.1:$((BASE_PORT + 3))"
+
+"$WORK/cesrm-node" -mode proxy -bind "$PROXY" -drop 0.25 -drop-seed 7 \
+    -peers "0=$A0,3=$A3,4=$A4" &
+PROXY_PID=$!
+
+NODE_ARGS=(-tree "$WORK/tree.txt" -via "$PROXY" -seed 42
+    -packets 16 -period 15ms -session-period 150ms -source-linger 900ms)
+
+# Receivers first, then the source, so session exchange can prime
+# distance estimates before data flows.
+"$WORK/cesrm-node" "${NODE_ARGS[@]}" -id 3 -bind "$A3" -capture "$WORK/node3.ndjson" &
+PID3=$!
+"$WORK/cesrm-node" "${NODE_ARGS[@]}" -id 4 -bind "$A4" -capture "$WORK/node4.ndjson" &
+PID4=$!
+sleep 0.2
+"$WORK/cesrm-node" "${NODE_ARGS[@]}" -id 0 -bind "$A0" -capture "$WORK/node0.ndjson" &
+PID0=$!
+
+FAIL=0
+for pid in $PID0 $PID3 $PID4; do
+    if ! wait "$pid"; then
+        FAIL=1
+    fi
+done
+kill "$PROXY_PID" 2>/dev/null || true
+wait "$PROXY_PID" 2>/dev/null || true
+if [ "$FAIL" -ne 0 ]; then
+    echo "wire_smoke: a node failed to complete" >&2
+    exit 1
+fi
+
+"$WORK/cesrm-node" -mode conform \
+    "$WORK/node0.ndjson" "$WORK/node3.ndjson" "$WORK/node4.ndjson"
+echo "wire_smoke: OK"
