@@ -73,6 +73,9 @@ type diffPerf struct {
 	PlanHits      uint64 `json:"plan_hits"`
 	PlanMisses    uint64 `json:"plan_misses"`
 	PlanEvictions uint64 `json:"plan_evictions"`
+	QueueDrops    uint64 `json:"queue_drops"`
+	Abandoned     int    `json:"abandoned"`
+	ChurnEvents   int    `json:"churn_events"`
 }
 
 // config renders the execution shape behind a perf block. Snapshots
@@ -249,6 +252,15 @@ func diff(committed, fresh *diffRun, maxRegressionPct, maxMemRegressionPct float
 	if c, f := committed.Perf, fresh.Perf; c.PlanHits+c.PlanMisses > 0 || f.PlanHits+f.PlanMisses > 0 {
 		fmt.Printf("flood plans: committed %d hits / %d misses / %d evictions, fresh %d / %d / %d\n",
 			c.PlanHits, c.PlanMisses, c.PlanEvictions, f.PlanHits, f.PlanMisses, f.PlanEvictions)
+	}
+	// Robustness counters are likewise deterministic and reported without
+	// gating: queue drops and abandonments move only when the base
+	// configuration engages queue caps or membership churn, and a
+	// behavior-preserving change keeps them pinned via the fingerprints.
+	if c, f := committed.Perf, fresh.Perf; c.QueueDrops+f.QueueDrops > 0 ||
+		c.Abandoned+f.Abandoned > 0 || c.ChurnEvents+f.ChurnEvents > 0 {
+		fmt.Printf("robustness: committed %d queue drops / %d abandoned / %d churn events, fresh %d / %d / %d\n",
+			c.QueueDrops, c.Abandoned, c.ChurnEvents, f.QueueDrops, f.Abandoned, f.ChurnEvents)
 	}
 	return fails
 }

@@ -100,6 +100,14 @@ type benchPerfJSON struct {
 	PlanHits      uint64 `json:"plan_hits,omitempty"`
 	PlanMisses    uint64 `json:"plan_misses,omitempty"`
 	PlanEvictions uint64 `json:"plan_evictions,omitempty"`
+	// Robustness counters, summed over the pass's runs: congestion tail
+	// drops at finite link queues, bounded-retry abandonments and
+	// membership (leave/join) events. Zero/omitted unless the base
+	// configuration engages queue caps or churn; benchdiff reports
+	// movement informationally without gating.
+	QueueDrops  uint64 `json:"queue_drops,omitempty"`
+	Abandoned   int    `json:"abandoned,omitempty"`
+	ChurnEvents int    `json:"churn_events,omitempty"`
 }
 
 type benchTraceJSON struct {
@@ -123,6 +131,9 @@ func benchRun(scale float64, perf benchPerfJSON, results []experiment.SuiteResul
 		p := r.Pair
 		plans.Add(p.SRM.PlanStats)
 		plans.Add(p.CESRM.PlanStats)
+		out.Perf.QueueDrops += p.SRM.QueueDrops + p.CESRM.QueueDrops
+		out.Perf.Abandoned += p.SRM.Abandoned + p.CESRM.Abandoned
+		out.Perf.ChurnEvents += p.SRM.ChurnEvents + p.CESRM.ChurnEvents
 		succ, _ := p.ExpeditedSuccess()
 		out.Traces = append(out.Traces, benchTraceJSON{
 			Index:               r.Entry.Index,

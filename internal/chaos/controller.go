@@ -26,11 +26,25 @@ type Invalidator interface {
 	InvalidateHost(dead topology.NodeID) int
 }
 
+// Member is the graceful-membership surface Leave/Join faults drive.
+// Unlike Crash/Restart it models announced departures: a leaving host
+// goes silent without amnesia, and a joining host opens its reliability
+// window at the first post-join data rather than seq 0. All protocol
+// endpoints implement it.
+type Member interface {
+	Leave()
+	Join()
+	Absent() bool
+}
+
 // Probe observes lifecycle faults as they fire; the stats validator
-// implements it to arm its post-crash-silence invariant. May be nil.
+// implements it to arm its post-crash and post-leave silence
+// invariants. May be nil.
 type Probe interface {
 	NoteCrash(host topology.NodeID, at sim.Time)
 	NoteRestart(host topology.NodeID, at sim.Time)
+	NoteLeave(host topology.NodeID, at sim.Time)
+	NoteJoin(host topology.NodeID, at sim.Time)
 }
 
 // Controller schedules a validated Spec's faults through the engine and
@@ -65,8 +79,18 @@ func Install(eng *sim.Engine, net *netsim.Network, rng *sim.RNG, spec *Spec, hos
 		return nil, err
 	}
 	for _, f := range spec.Faults {
-		if (f.Kind == Crash || f.Kind == Restart) && hosts[f.Host] == nil {
-			return nil, fmt.Errorf("chaos: no endpoint for host %d", f.Host)
+		switch f.Kind {
+		case Crash, Restart:
+			if hosts[f.Host] == nil {
+				return nil, fmt.Errorf("chaos: no endpoint for host %d", f.Host)
+			}
+		case Leave, Join:
+			if hosts[f.Host] == nil {
+				return nil, fmt.Errorf("chaos: no endpoint for host %d", f.Host)
+			}
+			if _, ok := hosts[f.Host].(Member); !ok {
+				return nil, fmt.Errorf("chaos: endpoint for host %d does not support membership", f.Host)
+			}
 		}
 	}
 	c := &Controller{
@@ -151,6 +175,40 @@ func (c *Controller) schedule(f Fault) {
 		prob, delay := f.Prob, f.Delay
 		c.at(f.At, func(sim.Time) { c.dupProb, c.dupDelay = prob, delay })
 		c.at(f.Until, func(sim.Time) { c.dupProb = 0 })
+	case Leave:
+		host := f.Host
+		c.at(f.At, func(now sim.Time) {
+			c.hosts[host].(Member).Leave()
+			if c.probe != nil {
+				c.probe.NoteLeave(host, now)
+			}
+			// A leave is an announced departure: unlike a crash, the
+			// advert always reaches the group, so every live member
+			// drops cached pairs naming the leaver (no Purge opt-in).
+			for _, id := range c.order {
+				if id == host || c.hosts[id].Crashed() {
+					continue
+				}
+				if m, ok := c.hosts[id].(Member); ok && m.Absent() {
+					continue
+				}
+				if inv, ok := c.hosts[id].(Invalidator); ok {
+					inv.InvalidateHost(host)
+				}
+			}
+		})
+	case Join:
+		host := f.Host
+		c.at(f.At, func(now sim.Time) {
+			c.hosts[host].(Member).Join()
+			if c.probe != nil {
+				c.probe.NoteJoin(host, now)
+			}
+		})
+	case QueueCap:
+		cap := f.Cap
+		c.at(f.At, func(sim.Time) { c.net.SetQueueCap(cap) })
+		c.at(f.Until, func(sim.Time) { c.net.SetQueueCap(0) })
 	case Starve:
 		host := f.Host
 		bump := func(d int) {

@@ -46,6 +46,20 @@ const (
 	// Starve drops all session messages (or only those originating at
 	// Host, when set) over [At, Until).
 	Starve
+	// Leave gracefully departs Host at At: the member announces its
+	// departure, goes silent without amnesia, and every live endpoint
+	// drops cached pairs naming it (the paper's §3.3 membership
+	// dynamics, as an advertised departure rather than a fail-stop).
+	Leave
+	// Join admits Host at At. A host whose earliest membership fault is
+	// a Join starts the run absent (a late joiner); its loss detection
+	// begins at the first data it hears about after joining, not seq 0.
+	Join
+	// QueueCap bounds every link queue to Cap outstanding transmissions
+	// over [At, Until): arrivals past the cap are tail-dropped
+	// deterministically, modelling congestion loss rather than channel
+	// loss.
+	QueueCap
 )
 
 // String returns the kind's spec keyword.
@@ -65,6 +79,12 @@ func (k Kind) String() string {
 		return "dup"
 	case Starve:
 		return "starve"
+	case Leave:
+		return "leave"
+	case Join:
+		return "join"
+	case QueueCap:
+		return "qcap"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -98,6 +118,9 @@ type Fault struct {
 	Prob float64
 	// Delay is the extra delay of a Duplicate window's second copy.
 	Delay time.Duration
+	// Cap is the QueueCap window's per-link, per-direction queue bound
+	// (queued-or-transmitting packets; at least 1).
+	Cap int
 }
 
 // Spec is a named, ordered fault composition. Fault order breaks
@@ -122,6 +145,37 @@ func (s *Spec) HasDuplicates() bool { return s.hasKind(Duplicate) }
 // jitter and duplicate specs leave the watermark sound.
 func (s *Spec) HasRestart() bool { return s.hasKind(Restart) }
 
+// HasMembership reports whether the spec contains graceful leave or
+// join faults. Membership churn, like restarts, invalidates the
+// fully-recovered release watermark: a late joiner's classification
+// window opens after packets the watermark may already have released.
+func (s *Spec) HasMembership() bool { return s.hasKind(Leave) || s.hasKind(Join) }
+
+// HasQueueCap reports whether the spec contains finite-queue windows.
+func (s *Spec) HasQueueCap() bool { return s.hasKind(QueueCap) }
+
+// InitialAbsent returns the hosts whose earliest membership fault is a
+// Join: late joiners that start the run outside the group and must not
+// start sessions (or be held to reliability) until their Join fires.
+func (s *Spec) InitialAbsent() map[topology.NodeID]bool {
+	first := make(map[topology.NodeID]Fault)
+	for _, f := range s.Faults {
+		if f.Kind != Leave && f.Kind != Join {
+			continue
+		}
+		if prev, ok := first[f.Host]; !ok || f.At < prev.At {
+			first[f.Host] = f
+		}
+	}
+	absent := make(map[topology.NodeID]bool)
+	for h, f := range first {
+		if f.Kind == Join {
+			absent[h] = true
+		}
+	}
+	return absent
+}
+
 func (s *Spec) hasKind(k Kind) bool {
 	for _, f := range s.Faults {
 		if f.Kind == k {
@@ -139,8 +193,9 @@ func (s *Spec) hasKind(k Kind) bool {
 // reliability), and crash/restart sequences per host must alternate.
 func (s *Spec) Validate(tree *topology.Tree) error {
 	type window struct{ from, to time.Duration }
-	var jitterWins, dupWins []window
-	crashes := map[topology.NodeID][]Fault{} // crash/restart per host, spec order
+	var jitterWins, dupWins, qcapWins []window
+	crashes := map[topology.NodeID][]Fault{}    // crash/restart per host, spec order
+	membership := map[topology.NodeID][]Fault{} // leave/join per host, spec order
 	linkEvents := map[topology.LinkID][]Fault{}
 	for i, f := range s.Faults {
 		fail := func(format string, args ...any) error {
@@ -154,7 +209,7 @@ func (s *Spec) Validate(tree *topology.Tree) error {
 		}
 		switch f.Kind {
 		case Crash, Restart:
-			if !tree.IsReceiver(f.Host) {
+			if int(f.Host) < 0 || int(f.Host) >= tree.NumNodes() || !tree.IsReceiver(f.Host) {
 				return fail("host %d is not a receiver", f.Host)
 			}
 			crashes[f.Host] = append(crashes[f.Host], f)
@@ -189,11 +244,24 @@ func (s *Spec) Validate(tree *topology.Tree) error {
 			if f.Host != topology.None && (int(f.Host) < 0 || int(f.Host) >= tree.NumNodes()) {
 				return fail("invalid host %d", f.Host)
 			}
+		case Leave, Join:
+			if int(f.Host) < 0 || int(f.Host) >= tree.NumNodes() || !tree.IsReceiver(f.Host) {
+				return fail("host %d is not a receiver", f.Host)
+			}
+			membership[f.Host] = append(membership[f.Host], f)
+		case QueueCap:
+			if f.Until == 0 {
+				return fail("queue-cap window needs an end")
+			}
+			if f.Cap < 1 {
+				return fail("non-positive queue cap %d", f.Cap)
+			}
+			qcapWins = append(qcapWins, window{f.At, f.Until})
 		default:
 			return fail("unknown kind")
 		}
 	}
-	for _, wins := range [][]window{jitterWins, dupWins} {
+	for _, wins := range [][]window{jitterWins, dupWins, qcapWins} {
 		wins := append([]window(nil), wins...)
 		sort.Slice(wins, func(i, j int) bool { return wins[i].from < wins[j].from })
 		for i := 1; i < len(wins); i++ {
@@ -218,6 +286,32 @@ func (s *Spec) Validate(tree *topology.Tree) error {
 					return fmt.Errorf("chaos: host %d restarted while live", h)
 				}
 				down = false
+			}
+		}
+	}
+	for h, seq := range membership {
+		// Mixing fail-stop and graceful-membership faults on one host
+		// would muddle both silence invariants (is the host dead or
+		// departed?); keep the two churn vocabularies disjoint per host.
+		if len(crashes[h]) > 0 {
+			return fmt.Errorf("chaos: host %d mixes crash/restart and leave/join faults", h)
+		}
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].At < seq[j].At })
+		// A host whose earliest membership fault is a Join starts the
+		// run absent (a late joiner); otherwise it starts present.
+		present := seq[0].Kind == Leave
+		for _, f := range seq {
+			switch f.Kind {
+			case Leave:
+				if !present {
+					return fmt.Errorf("chaos: host %d left while absent", h)
+				}
+				present = false
+			case Join:
+				if present {
+					return fmt.Errorf("chaos: host %d joined while present", h)
+				}
+				present = true
 			}
 		}
 	}
@@ -285,6 +379,14 @@ func (s *Spec) String() string {
 		case Starve:
 			if f.Host != topology.None {
 				opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			}
+		case Leave, Join:
+			if f.Host != topology.None {
+				opts = append(opts, fmt.Sprintf("host=%d", f.Host))
+			}
+		case QueueCap:
+			if f.Cap != 0 {
+				opts = append(opts, fmt.Sprintf("cap=%d", f.Cap))
 			}
 		}
 		if len(opts) > 0 {
@@ -364,6 +466,9 @@ var faultOptions = map[Kind]string{
 	Jitter:    "max",
 	Duplicate: "prob,delay",
 	Starve:    "host",
+	Leave:     "host",
+	Join:      "host",
+	QueueCap:  "cap",
 }
 
 func parseFault(text string) (Fault, error) {
@@ -388,6 +493,12 @@ func parseFault(text string) (Fault, error) {
 		f.Kind = Duplicate
 	case "starve":
 		f.Kind = Starve
+	case "leave":
+		f.Kind = Leave
+	case "join":
+		f.Kind = Join
+	case "qcap":
+		f.Kind = QueueCap
 	default:
 		return f, fmt.Errorf("unknown fault kind %q", kindStr)
 	}
@@ -415,7 +526,7 @@ func parseFault(text string) (Fault, error) {
 	for _, opt := range strings.Split(opts, ",") {
 		key, val, hasVal := strings.Cut(opt, "=")
 		switch key {
-		case "host", "link", "max", "delay", "prob", "purge":
+		case "host", "link", "max", "delay", "prob", "purge", "cap":
 			if !optionAllowed(allowed, key) {
 				return f, fmt.Errorf("option %q does not apply to %s faults", key, f.Kind)
 			}
@@ -475,6 +586,15 @@ func parseFault(text string) (Fault, error) {
 				return f, fmt.Errorf("purge takes no value")
 			}
 			f.Purge = true
+		case "cap":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return f, fmt.Errorf("bad cap: %w", err)
+			}
+			if n < 1 {
+				return f, fmt.Errorf("non-positive cap %d", n)
+			}
+			f.Cap = n
 		}
 	}
 	return f, nil
@@ -528,6 +648,16 @@ func Scenarios(tree *topology.Tree, horizon time.Duration) []*Spec {
 		{Name: "session-starve", Faults: []Fault{
 			{Kind: Starve, At: frac(1, 5), Until: frac(1, 2)},
 		}},
+		{Name: "member-churn", Faults: []Fault{
+			{Kind: Leave, At: frac(3, 10), Host: a},
+			{Kind: Join, At: frac(13, 20), Host: a},
+		}},
+		{Name: "late-join", Faults: []Fault{
+			{Kind: Join, At: frac(1, 4), Host: a},
+		}},
+		{Name: "queue-overload", Faults: []Fault{
+			{Kind: QueueCap, At: frac(1, 5), Until: frac(3, 5), Cap: 2},
+		}},
 	}
 	if b != a {
 		specs = append(specs,
@@ -535,6 +665,9 @@ func Scenarios(tree *topology.Tree, horizon time.Duration) []*Spec {
 				{Kind: Crash, At: frac(1, 4), Host: a, Purge: true},
 				{Kind: Crash, At: frac(2, 5), Host: b},
 				{Kind: Restart, At: frac(11, 20), Host: a},
+			}},
+			&Spec{Name: "replier-leave", Faults: []Fault{
+				{Kind: Leave, At: frac(2, 5), Host: b},
 			}},
 			&Spec{Name: "combined", Faults: []Fault{
 				{Kind: Crash, At: frac(3, 10), Host: b},

@@ -28,7 +28,8 @@ func testTree(t *testing.T) *topology.Tree {
 func TestParseSpecRoundTrip(t *testing.T) {
 	text := "crash@40s:host=3,purge;restart@1m10s:host=3;link-down@10s-20s:link=5;" +
 		"link-down@30s:link=5;link-up@35s:link=5;jitter@45s-50s:max=5ms;" +
-		"dup@1m20s-1m30s:prob=0.01,delay=2ms;starve@1m40s-1m45s;starve@1m50s-1m55s:host=4"
+		"dup@1m20s-1m30s:prob=0.01,delay=2ms;starve@1m40s-1m45s;starve@1m50s-1m55s:host=4;" +
+		"leave@2m:host=4;join@2m30s:host=4;qcap@2m40s-2m50s:cap=2;join@5s:host=6"
 	s, err := ParseSpec(text)
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +51,8 @@ func TestParseSpecRejectsGarbage(t *testing.T) {
 		"", "crash", "crash@", "crash@40s:host=x", "explode@40s",
 		"crash@40s:frob=1", "jitter@4s-2x:max=1ms", "dup@1s-2s:prob=maybe",
 		"crash@40s:purge=yes",
+		"qcap@1s-2s:cap=0", "qcap@1s-2s:cap=-3", "qcap@1s-2s:cap=two",
+		"leave@1s:cap=2", "join@1s:purge", "qcap@1s-2s:host=3",
 	} {
 		if _, err := ParseSpec(text); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", text)
@@ -83,6 +86,28 @@ func TestValidateRejectsIllFormedSpecs(t *testing.T) {
 		}}, "overlapping"},
 		{"dup prob out of range", Spec{Faults: []Fault{{Kind: Duplicate, At: time.Second, Until: 2 * time.Second, Prob: 1.5}}}, "outside (0,1]"},
 		{"starve without end", Spec{Faults: []Fault{{Kind: Starve, At: time.Second, Host: topology.None}}}, "window"},
+		{"leave of non-receiver", Spec{Faults: []Fault{{Kind: Leave, At: time.Second, Host: 99}}}, "not a receiver"},
+		{"leave of router", Spec{Faults: []Fault{{Kind: Leave, At: time.Second, Host: 1}}}, "not a receiver"},
+		{"join while present", Spec{Faults: []Fault{
+			{Kind: Leave, At: time.Second, Host: 3},
+			{Kind: Join, At: 2 * time.Second, Host: 3},
+			{Kind: Join, At: 3 * time.Second, Host: 3},
+		}}, "joined while present"},
+		{"double leave", Spec{Faults: []Fault{
+			{Kind: Leave, At: time.Second, Host: 3},
+			{Kind: Leave, At: 2 * time.Second, Host: 3},
+		}}, "left while absent"},
+		{"leave mixed with crash", Spec{Faults: []Fault{
+			{Kind: Crash, At: time.Second, Host: 3},
+			{Kind: Restart, At: 2 * time.Second, Host: 3},
+			{Kind: Leave, At: 3 * time.Second, Host: 3},
+		}}, "mixes crash/restart and leave/join"},
+		{"qcap without end", Spec{Faults: []Fault{{Kind: QueueCap, At: time.Second, Cap: 2}}}, "needs an end"},
+		{"qcap non-positive", Spec{Faults: []Fault{{Kind: QueueCap, At: time.Second, Until: 2 * time.Second, Cap: 0}}}, "non-positive queue cap"},
+		{"overlapping qcap", Spec{Faults: []Fault{
+			{Kind: QueueCap, At: time.Second, Until: 3 * time.Second, Cap: 2},
+			{Kind: QueueCap, At: 2 * time.Second, Until: 4 * time.Second, Cap: 3},
+		}}, "overlapping"},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate(tree)
@@ -125,7 +150,7 @@ func TestScenariosAreValidAndDistinct(t *testing.T) {
 			t.Errorf("scenario %q invalid: %v", s.Name, err)
 		}
 	}
-	for _, want := range []string{"crash", "crash-restart", "link-flap", "jitter-ramp", "dup-storm", "session-starve", "replier-churn", "combined"} {
+	for _, want := range []string{"crash", "crash-restart", "link-flap", "jitter-ramp", "dup-storm", "session-starve", "member-churn", "late-join", "queue-overload", "replier-churn", "replier-leave", "combined"} {
 		if !seen[want] {
 			t.Errorf("scenario %q missing from matrix", want)
 		}

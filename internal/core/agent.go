@@ -174,7 +174,7 @@ func (a *Agent) Transmit(seq int) { a.srm.Transmit(seq) }
 // expedited recovery scheme; everything else flows through SRM, whose
 // extension hooks call back into this agent.
 func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
-	if a.srm.Crashed() {
+	if a.srm.Crashed() || a.srm.Absent() {
 		return
 	}
 	if m, ok := p.Msg.(*srm.RequestMsg); ok && m.Expedited {
@@ -202,8 +202,8 @@ func (a *Agent) onLossDetected(now sim.Time, source topology.NodeID, seq int) {
 	key := sourceSeq{source, seq}
 	timer := a.eng.Schedule(a.cfg.ReorderDelay, func(sim.Time) {
 		delete(a.pendingExp, key)
-		if a.srm.Crashed() {
-			return // fail-stop: Crash cancels these timers, but stay silent regardless
+		if a.srm.Crashed() || a.srm.Absent() {
+			return // Crash/Leave cancel these timers, but stay silent regardless
 		}
 		if a.srm.Has(source, seq) {
 			return // arrived meanwhile; nothing to expedite
@@ -292,6 +292,25 @@ func (a *Agent) Restart() {
 	a.caches = make(map[topology.NodeID]*Cache, 1+len(a.caches))
 	a.srm.Restart()
 }
+
+// Leave makes the endpoint depart gracefully: pending REORDER-DELAY
+// timers are cancelled — an absent host must never unicast an
+// expedited request — and the SRM layer goes silent. Unlike Restart,
+// the per-source caches survive: a graceful leave is not amnesia, and
+// the member announced its departure, so on Join the cached pairs are
+// exactly as stale as any other member's.
+func (a *Agent) Leave() {
+	a.cancelPendingExp()
+	a.srm.Leave()
+}
+
+// Join rejoins a departed endpoint; the SRM layer restarts its session
+// schedule and opens each stream's reliability window at the first
+// post-join data it observes.
+func (a *Agent) Join() { a.srm.Join() }
+
+// Absent reports whether the endpoint has left and not rejoined.
+func (a *Agent) Absent() bool { return a.srm.Absent() }
 
 // InvalidateHost drops every cached tuple, in every per-source cache,
 // that names dead as requestor or replier. The harness calls it on live

@@ -102,13 +102,22 @@ type RunConfig struct {
 	// Crashing the source is rejected.
 	Crashes map[topology.NodeID]time.Duration
 	// Chaos, when non-nil, installs the deterministic fault-injection
-	// harness: host crashes and restarts, link flaps, jitter ramps,
-	// duplicate storms and session starvation, all scheduled through the
-	// engine so the run fingerprint stays a pure function of the
-	// configuration. Chaos runs skip the trace loss cross-check (a
-	// restarted host legitimately re-detects everything) and arm the
-	// validator's post-crash-silence and bounded-fallback invariants.
+	// harness: host crashes and restarts, graceful leaves and joins,
+	// link flaps, jitter ramps, duplicate storms, queue-cap windows and
+	// session starvation, all scheduled through the engine so the run
+	// fingerprint stays a pure function of the configuration. Chaos runs
+	// skip the trace loss cross-check (a restarted host legitimately
+	// re-detects everything) and arm the validator's post-crash-silence
+	// and bounded-fallback invariants.
 	Chaos *chaos.Spec
+	// Membership schedules graceful membership churn without writing a
+	// chaos spec by hand: each event is a receiver's announced Leave or
+	// mid-session Join at a virtual offset. Events merge into Chaos
+	// (creating a spec when nil), so they share its validation,
+	// scheduling determinism and invariant arming. Per host, events must
+	// be listed in chronological order and alternate (a Join-first host
+	// starts the run absent — a late joiner).
+	Membership []MembershipEvent
 	// Budget installs the engine's optional guardrails: bounds on
 	// virtual time, dispatched events and pending timers, plus the
 	// same-instant progress watchdog. A run that trips a bound
@@ -171,6 +180,16 @@ type RunConfig struct {
 	MaxTail time.Duration
 }
 
+// MembershipEvent is one scheduled graceful membership change.
+type MembershipEvent struct {
+	// Host is the receiver leaving or joining.
+	Host topology.NodeID
+	// At is the virtual offset from simulation start.
+	At time.Duration
+	// Join admits the host; false announces its departure.
+	Join bool
+}
+
 // RunResult carries a completed run's metrics.
 type RunResult struct {
 	// Config echoes the run configuration.
@@ -215,6 +234,20 @@ type RunResult struct {
 	// serial barriers; zero for serial runs. A proxy for how much of the
 	// event stream still serializes under sharded dispatch.
 	BarrierEvents uint64
+	// QueueDrops counts packets tail-dropped by finite link queues
+	// (congestion loss), separate from the Gilbert/trace-driven channel
+	// loss in Crossings. Zero unless a queue cap was configured.
+	QueueDrops uint64
+	// Abandoned counts losses receivers gave up on after the
+	// bounded-retry limit (Params.MaxRequestRounds), summed over hosts.
+	// Stage 5 reconciles each receiver's missing packets against its
+	// abandonment count, so a nonzero value is accounted-for degradation,
+	// not silent data loss.
+	Abandoned int
+	// ChurnEvents counts the membership events (graceful leaves plus
+	// joins) the run's schedule carried, whether from RunConfig.Membership
+	// or leave@/join@ chaos faults. Zero for churn-free runs.
+	ChurnEvents int
 	// Status reports how the engine terminated. The zero value,
 	// sim.Completed, is the only status budget-free runs ever produce;
 	// any other value means a RunConfig.Budget guardrail aborted the run
@@ -291,7 +324,9 @@ type inspector interface {
 	ClassifiedThrough(source topology.NodeID) int
 	Outstanding() int
 	MissingIn(source topology.NodeID, n int) int
+	AbandonedIn(source topology.NodeID) int
 	Crashed() bool
+	Absent() bool
 	ReleasableThrough(source topology.NodeID) int
 	ReleaseThrough(source topology.NodeID, n int)
 }
@@ -306,6 +341,15 @@ type crasher interface{ Crash() }
 // outages orders of magnitude longer than any scenario window while
 // still catching a protocol that stops retrying.
 const expFallbackBound = 12
+
+// defaultChurnRequestRounds is the bounded-retry limit armed for runs
+// with membership churn when the caller left SRM.MaxRequestRounds at
+// its unbounded default. A requester whose cached repliers all departed
+// must degrade to a typed abandonment instead of doubling its back-off
+// interval forever (the overflow-by-construction bug class); 20 rounds
+// sit comfortably above the expedited-fallback bound of 12, so
+// legitimate fallback recovery is never cut short.
+const defaultChurnRequestRounds = 20
 
 // agentOrder, when non-nil, permutes the host order that drives per-host
 // RNG assignment and Stage 4 scheduling. It is a test seam that reenacts
@@ -334,6 +378,40 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.MaxTail == 0 {
 		cfg.MaxTail = 10 * time.Minute
+	}
+	// A membership schedule merges into the chaos spec (cloned, never
+	// mutating the caller's), sharing its validation and deterministic
+	// scheduling. This runs before any RNG split decision: a Membership
+	// schedule makes cfg.Chaos non-nil exactly like writing the spec by
+	// hand would.
+	if len(cfg.Membership) > 0 {
+		merged := &chaos.Spec{Name: "membership"}
+		if cfg.Chaos != nil {
+			merged.Name = cfg.Chaos.Name
+			merged.Faults = append(merged.Faults, cfg.Chaos.Faults...)
+		}
+		for _, e := range cfg.Membership {
+			kind := chaos.Leave
+			if e.Join {
+				kind = chaos.Join
+			}
+			merged.Faults = append(merged.Faults, chaos.Fault{Kind: kind, At: e.At, Host: e.Host})
+		}
+		cfg.Chaos = merged
+	}
+	// Membership churn arms bounded-retry degradation: without it, a
+	// receiver whose cached repliers departed would double its back-off
+	// interval forever. Callers that set an explicit bound keep it.
+	if cfg.Chaos != nil && cfg.Chaos.HasMembership() && cfg.SRM.MaxRequestRounds == 0 {
+		cfg.SRM.MaxRequestRounds = defaultChurnRequestRounds
+	}
+	churnEvents := 0
+	if cfg.Chaos != nil {
+		for _, f := range cfg.Chaos.Faults {
+			if f.Kind == chaos.Leave || f.Kind == chaos.Join {
+				churnEvents++
+			}
+		}
 	}
 
 	tr := cfg.Trace
@@ -433,7 +511,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// ramps, duplicate storms, starvation — leaves the watermark sound:
 	// crashed hosts never rejoin and are skipped, and the remaining
 	// faults only delay recovery, which the watermark already waits for.
-	releaseOn := cfg.ReleaseRecovered && (cfg.Chaos == nil || !cfg.Chaos.HasRestart())
+	// Membership churn invalidates the watermark the same way restarts
+	// do: a late joiner's classification window opens after packets the
+	// watermark may already have released on other hosts.
+	releaseOn := cfg.ReleaseRecovered && (cfg.Chaos == nil || (!cfg.Chaos.HasRestart() && !cfg.Chaos.HasMembership()))
 	if releaseOn {
 		collector.StreamAggregates(rtt)
 	}
@@ -542,7 +623,31 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 		chaosCtl = ctl
 	}
+	// Late joiners start the run outside the group: they are marked
+	// absent before anything runs (the validator arms leave-silence from
+	// t=0) and skip the session start below — their Join fault starts
+	// sessions. Agent construction above is unchanged, so the per-host
+	// RNG split order, and with it every churn-free fingerprint, is
+	// untouched.
+	var absentAtStart map[topology.NodeID]bool
+	if cfg.Chaos != nil {
+		absentAtStart = cfg.Chaos.InitialAbsent()
+		for _, id := range hosts {
+			if !absentAtStart[id] {
+				continue
+			}
+			m, ok := agents[id].(chaos.Member)
+			if !ok {
+				return nil, fmt.Errorf("experiment: host %d does not support membership", id)
+			}
+			m.Leave()
+			validator.NoteLeave(id, 0)
+		}
+	}
 	for _, id := range hosts {
+		if absentAtStart[id] {
+			continue
+		}
 		agents[id].StartSessions()
 	}
 	crashHosts := make([]topology.NodeID, 0, len(cfg.Crashes))
@@ -595,7 +700,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 		for _, r := range tree.Receivers() {
 			a := inspectors[r]
-			if a.Crashed() {
+			if a.Crashed() || a.Absent() {
 				continue
 			}
 			if a.ClassifiedThrough(source) < numPackets || a.Outstanding() > 0 {
@@ -675,7 +780,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		diag := &Diagnostic{Clock: snap.Now, Pending: snap.Pending, Executed: snap.Executed}
 		for _, r := range receivers {
 			a := inspectors[r]
-			if a.Crashed() {
+			if a.Crashed() || a.Absent() {
 				continue
 			}
 			if n := a.Outstanding(); n > 0 {
@@ -696,6 +801,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			Receivers:             receivers,
 			PlanStats:             net.PlanStats(),
 			BarrierEvents:         eng.BarrierEvents(),
+			QueueDrops:            net.QueueDrops(),
+			Abandoned:             collector.TotalAbandoned(),
+			ChurnEvents:           churnEvents,
 			Status:                status,
 			Diag:                  diag,
 		}, nil
@@ -711,7 +819,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	// holding every packet (full reliability).
 	for ri, r := range tree.Receivers() {
 		a := inspectors[r]
-		if a.Crashed() {
+		if a.Crashed() || a.Absent() {
 			continue
 		}
 		if got, want := collector.Losses(r), tr.ReceiverLosses(ri); got > want && cfg.Jitter == 0 && cfg.ExtraDrop == nil && cfg.Chaos == nil {
@@ -721,8 +829,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if a.Outstanding() != 0 {
 			return nil, fmt.Errorf("experiment: receiver %d finished with %d unrecovered losses", r, a.Outstanding())
 		}
-		if miss := a.MissingIn(source, numPackets); miss != 0 {
-			return nil, fmt.Errorf("experiment: receiver %d finished missing %d packets", r, miss)
+		// Bounded-retry degradation is accounted-for, never silent: each
+		// missing packet must be matched by an explicit abandonment (and
+		// vice versa — an abandoned packet that later arrived via a
+		// straggling repair is no longer missing, and is not counted here).
+		miss, abandoned := a.MissingIn(source, numPackets), a.AbandonedIn(source)
+		if miss != abandoned {
+			return nil, fmt.Errorf("experiment: receiver %d finished missing %d packets with %d abandoned",
+				r, miss, abandoned)
 		}
 	}
 
@@ -754,5 +868,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Receivers:             receivers,
 		PlanStats:             net.PlanStats(),
 		BarrierEvents:         eng.BarrierEvents(),
+		QueueDrops:            net.QueueDrops(),
+		Abandoned:             collector.TotalAbandoned(),
+		ChurnEvents:           churnEvents,
 	}, nil
 }

@@ -65,3 +65,11 @@ func (d *deferredObserver) SessionSent(host topology.NodeID) {
 	}
 	d.sh.Defer(func() { d.obs.SessionSent(host) })
 }
+
+func (d *deferredObserver) RequestAbandoned(host, source topology.NodeID, seq int, rounds int) {
+	if !d.sh.Buffering() {
+		d.obs.RequestAbandoned(host, source, seq, rounds)
+		return
+	}
+	d.sh.Defer(func() { d.obs.RequestAbandoned(host, source, seq, rounds) })
+}

@@ -125,6 +125,11 @@ type Agent struct {
 
 	stopped bool
 	crashed bool
+	// absent marks a graceful departure (Leave without a later Join);
+	// lateJoin arms the one-shot reliability floor a rejoining host
+	// applies at its first post-join contact with the stream.
+	absent   bool
+	lateJoin bool
 	// heartbeatTimer is the pending self-rescheduling heartbeat tick
 	// (source only), retained so Crash can cancel it.
 	heartbeatTimer sim.Timer
@@ -192,13 +197,18 @@ func (a *Agent) Stop() { a.stopped = true }
 func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
+	a.cancelTimers()
+	a.fabric.ReportCrash(a.id)
+}
+
+// cancelTimers cancels the heartbeat tick and every armed NAK retry.
+func (a *Agent) cancelTimers() {
 	a.eng.Cancel(a.heartbeatTimer)
 	for _, ls := range a.losses {
 		if ls != nil {
 			a.eng.Cancel(ls.timer)
 		}
 	}
-	a.fabric.ReportCrash(a.id)
 }
 
 // Crashed reports whether Crash has been called.
@@ -227,6 +237,75 @@ func (a *Agent) Restart() {
 	a.outstanding = 0
 	a.fabric.ReportRestart(a.id)
 	a.StartSessions()
+}
+
+// Leave makes the host depart gracefully: it goes silent (no NAKs, no
+// repairs, no heartbeats) and its failure is announced to the fabric so
+// routers re-designate repliers — the same staleness window a crash
+// suffers, but without amnesia. Leaving a crashed or already-absent
+// host panics.
+func (a *Agent) Leave() {
+	if a.crashed {
+		panic(fmt.Sprintf("lms: crashed host %d leaving", a.id))
+	}
+	if a.absent {
+		panic(fmt.Sprintf("lms: absent host %d leaving twice", a.id))
+	}
+	a.absent = true
+	a.stopped = true
+	a.cancelTimers()
+	a.fabric.ReportCrash(a.id)
+}
+
+// Join rejoins a departed host. Per-packet reception state is rebuilt
+// with a late-join reliability floor: the first post-join contact with
+// the stream (data, heartbeat advert, NAK or repair) opens the window
+// there, so the host never chases packets sent while it was out of the
+// group. Joining a present host panics.
+func (a *Agent) Join() {
+	if !a.absent {
+		panic(fmt.Sprintf("lms: present host %d joining", a.id))
+	}
+	a.absent = false
+	a.stopped = false
+	a.lateJoin = true
+	a.base = 0
+	a.held = 0
+	a.received = nil
+	a.cursor = 0
+	a.highestKnown = -1
+	a.advertPending = -1
+	a.losses = nil
+	a.pending = nil
+	a.outstanding = 0
+	a.fabric.ReportRestart(a.id)
+	a.StartSessions()
+}
+
+// Absent reports whether the host has left and not rejoined.
+func (a *Agent) Absent() bool { return a.absent }
+
+// AbandonedIn reports losses abandoned after bounded retries. LMS never
+// abandons — its NAK retries are bounded-exponential but unbounded in
+// count, and the single source never leaves — so it is always zero; the
+// method exists for reconciliation symmetry with srm.Agent.
+func (a *Agent) AbandonedIn(source topology.NodeID) int { return 0 }
+
+// floorTo applies the one-shot late-join reliability floor: sequence
+// numbers below floor are treated as held (Has is true below base, the
+// same convention state release uses), so detection starts at the first
+// post-join packet rather than seq 0.
+func (a *Agent) floorTo(floor int) {
+	if !a.lateJoin || a.id == a.source {
+		return
+	}
+	a.lateJoin = false
+	if floor <= 0 {
+		return
+	}
+	a.base = floor
+	a.held = floor
+	a.cursor = floor
 }
 
 // Transmit multicasts original packet seq; only the source may call it.
@@ -362,7 +441,7 @@ func (a *Agent) noteExists(seq int) {
 
 // Deliver implements netsim.Host.
 func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
-	if a.crashed {
+	if a.crashed || a.absent {
 		return
 	}
 	switch m := p.Msg.(type) {
@@ -380,6 +459,7 @@ func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
 }
 
 func (a *Agent) receivePacket(now sim.Time, seq int, requestor, replier topology.NodeID) {
+	a.floorTo(seq)
 	a.noteExists(seq)
 	if a.Has(seq) {
 		return
@@ -462,6 +542,7 @@ func (a *Agent) sendNAK(now sim.Time, seq int, ls *lossState) {
 // onNAK serves a repair if this host has the packet, or queues the NAK
 // until it does (the designated replier may share the loss).
 func (a *Agent) onNAK(now sim.Time, m *NAKMsg) {
+	a.floorTo(m.Seq + 1)
 	w := pendingNAK{turningPoint: m.TurningPoint, originChild: m.OriginChild, requestor: m.Requestor}
 	if a.Has(m.Seq) {
 		a.sendRepair(m.Seq, w)
@@ -502,6 +583,7 @@ func (a *Agent) onHeartbeat(now sim.Time, m *srm.SessionMsg) {
 	if !ok || highest < 0 {
 		return
 	}
+	a.floorTo(highest + 1)
 	a.noteExists(highest)
 	if a.id == a.source || highest < a.cursor || highest <= a.advertPending {
 		return
@@ -514,7 +596,7 @@ func (a *Agent) onHeartbeat(now sim.Time, m *srm.SessionMsg) {
 		// covered by Crash's cancel sweep and would retry forever). A
 		// post-restart firing is harmless — state lives on the agent and
 		// re-detection is exactly what a restarted host does anyway.
-		if a.crashed {
+		if a.crashed || a.absent {
 			return
 		}
 		a.detectThrough(now, h)

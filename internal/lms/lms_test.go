@@ -49,6 +49,7 @@ func (l *obsLog) RequestSent(_, _ topology.NodeID, _ int, _ int) { l.naks++ }
 func (l *obsLog) ExpRequestSent(_, _ topology.NodeID, _ int)     {}
 func (l *obsLog) ReplySent(_, _ topology.NodeID, _ int, _ bool)  { l.repairs++ }
 func (l *obsLog) SessionSent(topology.NodeID)                    {}
+func (l *obsLog) RequestAbandoned(_, _ topology.NodeID, _ int, _ int) {}
 
 func newBed(t *testing.T, refresh time.Duration) *bed {
 	t.Helper()

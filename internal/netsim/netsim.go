@@ -152,6 +152,13 @@ type Config struct {
 	// run far below capacity, so the default (false) models each hop as
 	// an independent store-and-forward pipe.
 	Queuing bool
+	// QueueCap bounds each link direction's FIFO to this many
+	// queued-or-transmitting payload packets; arrivals past the bound
+	// are tail-dropped deterministically and counted in QueueDrops.
+	// Zero-serialization control packets occupy no buffer and are never
+	// queue-dropped. Zero means unbounded. Requires Queuing; the chaos
+	// harness can also engage a cap mid-run via SetQueueCap.
+	QueueCap int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -183,6 +190,12 @@ func (c Config) Validate() error {
 	}
 	if c.ControlBytes < 0 {
 		return &ConfigError{"ControlBytes", fmt.Sprintf("must be non-negative, got %d", c.ControlBytes)}
+	}
+	if c.QueueCap < 0 {
+		return &ConfigError{"QueueCap", fmt.Sprintf("must be non-negative, got %d", c.QueueCap)}
+	}
+	if c.QueueCap > 0 && !c.Queuing {
+		return &ConfigError{"QueueCap", "requires Queuing (a cap on an unserialized link is meaningless)"}
 	}
 	return nil
 }
@@ -277,6 +290,19 @@ type Network struct {
 	// Queuing is enabled. Index 0 is downstream, 1 upstream.
 	busyUntil [2][]sim.Time
 
+	// queueCap bounds each link direction's FIFO to this many
+	// queued-or-transmitting payload packets (0 = unbounded), set
+	// statically by Config.QueueCap or dynamically by SetQueueCap.
+	// queued holds the pending transmission finish times per direction
+	// per link (monotone non-decreasing; pruned lazily against the
+	// arrival instant), nil until a cap is first engaged. queueDrops
+	// counts tail-dropped packets; it lives outside CrossingCounts on
+	// purpose — that struct is digested into the run fingerprint, and
+	// congestion drops must not perturb fingerprints of cap-free runs.
+	queueCap   int
+	queued     [2][][]sim.Time
+	queueDrops uint64
+
 	// jitterRNG and maxJitter add a uniform random extra delay to each
 	// delivery, reordering packets that are spaced more closely than the
 	// jitter magnitude. See EnableJitter.
@@ -367,6 +393,9 @@ func New(eng *sim.Engine, tree *topology.Tree, cfg Config) (*Network, error) {
 		n.busyUntil[0] = make([]sim.Time, tree.NumNodes())
 		n.busyUntil[1] = make([]sim.Time, tree.NumNodes())
 	}
+	if cfg.QueueCap > 0 {
+		n.SetQueueCap(cfg.QueueCap)
+	}
 	return n, nil
 }
 
@@ -455,6 +484,40 @@ func (n *Network) SetLinkUp(link topology.LinkID, up bool) {
 	}
 	n.linkDown[link] = !up
 }
+
+// SetQueueCap engages (cap ≥ 1) or lifts (cap = 0) the finite
+// link-queue bound at runtime — the chaos harness's qcap windows. While
+// a cap is active every flood takes the event-per-hop queuing path even
+// if the network was built without Queuing, so FIFO occupancy is
+// actually modelled; lifting the cap restores the fast path. Engaging
+// lazily allocates the serialization state, so cap-free runs pay
+// nothing.
+func (n *Network) SetQueueCap(cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	n.queueCap = cap
+	if cap == 0 {
+		return
+	}
+	if n.busyUntil[0] == nil {
+		n.busyUntil[0] = make([]sim.Time, n.tree.NumNodes())
+		n.busyUntil[1] = make([]sim.Time, n.tree.NumNodes())
+	}
+	if n.queued[0] == nil {
+		n.queued[0] = make([][]sim.Time, n.tree.NumNodes())
+		n.queued[1] = make([][]sim.Time, n.tree.NumNodes())
+	}
+}
+
+// QueueCap returns the currently active link-queue bound (0 when
+// unbounded).
+func (n *Network) QueueCap() int { return n.queueCap }
+
+// QueueDrops returns how many packets finite link queues have
+// tail-dropped so far. Congestion drops are counted separately from
+// DropFunc (channel) loss and from the crossing counters.
+func (n *Network) QueueDrops() uint64 { return n.queueDrops }
 
 // LinkUp reports whether the link is currently up.
 func (n *Network) LinkUp(link topology.LinkID) bool {
@@ -773,7 +836,7 @@ func (n *Network) flushGroups() {
 // of the scheduled deliveries and must match what the old
 // map-and-slice implementation produced.
 func (n *Network) flood(origin topology.NodeID, p *Packet, downOnly bool) {
-	if n.cfg.Queuing {
+	if n.cfg.Queuing || n.queueCap > 0 {
 		n.floodHop(origin, origin, topology.None, p, downOnly, n.eng.Now())
 		return
 	}
@@ -891,13 +954,17 @@ func (n *Network) floodHop(origin, node, cameFrom topology.NodeID, p *Packet, do
 		if n.drop != nil && n.drop(p, next, true) {
 			continue
 		}
-		n.scheduleHop(n.hopArrival(next, true, at, p), origin, next, node, p, downOnly)
+		if arr, ok := n.hopArrival(next, true, at, p); ok {
+			n.scheduleHop(arr, origin, next, node, p, downOnly)
+		}
 	}
 	if !downOnly {
 		if parent := n.tree.Parent(node); parent != topology.None && parent != cameFrom && !n.linkSevered(node) {
 			n.countCrossing(p)
 			if n.drop == nil || !n.drop(p, node, false) {
-				n.scheduleHop(n.hopArrival(node, false, at, p), origin, parent, node, p, downOnly)
+				if arr, ok := n.hopArrival(node, false, at, p); ok {
+					n.scheduleHop(arr, origin, parent, node, p, downOnly)
+				}
 			}
 		}
 	}
@@ -932,8 +999,11 @@ func (n *Network) Unicast(from, to topology.NodeID, p *Packet) {
 		if n.drop != nil && n.drop(p, link, down) {
 			return
 		}
-		if n.cfg.Queuing {
-			at = n.hopArrival(link, down, at, p)
+		if n.cfg.Queuing || n.queueCap > 0 {
+			var ok bool
+			if at, ok = n.hopArrival(link, down, at, p); !ok {
+				return
+			}
 		} else {
 			at = at.Add(n.cfg.LinkDelay + tx)
 		}
@@ -979,8 +1049,11 @@ func (n *Network) UnicastThenSubcast(from, via topology.NodeID, p *Packet) {
 		if n.drop != nil && n.drop(p, link, down) {
 			return
 		}
-		if n.cfg.Queuing {
-			at = n.hopArrival(link, down, at, p)
+		if n.cfg.Queuing || n.queueCap > 0 {
+			var ok bool
+			if at, ok = n.hopArrival(link, down, at, p); !ok {
+				return
+			}
 		} else {
 			at = at.Add(n.cfg.LinkDelay + tx)
 		}
@@ -1000,16 +1073,43 @@ func (n *Network) UnicastThenSubcast(from, via topology.NodeID, p *Packet) {
 
 // hopArrival computes when p finishes crossing link in the given
 // direction starting no earlier than at, honoring FIFO serialization.
-func (n *Network) hopArrival(link topology.LinkID, down bool, at sim.Time, p *Packet) sim.Time {
+// When a finite queue cap is active, a payload packet arriving while
+// cap transmissions are already queued or in service is tail-dropped:
+// ok is false and the packet never crosses. Control packets serialize
+// in zero time, occupy no buffer, and are never queue-dropped.
+func (n *Network) hopArrival(link topology.LinkID, down bool, at sim.Time, p *Packet) (arrival sim.Time, ok bool) {
 	dir := 1
 	if down {
 		dir = 0
+	}
+	tx := n.txTime(p)
+	if cap := n.queueCap; cap > 0 && tx > 0 {
+		// Prune transmissions that finished by the arrival instant; the
+		// finish times are appended in non-decreasing order, so the live
+		// suffix is contiguous.
+		q := n.queued[dir][link]
+		for len(q) > 0 && !q[0].After(at) {
+			q = q[1:]
+		}
+		if len(q) >= cap {
+			n.queued[dir][link] = q
+			n.queueDrops++
+			return at, false
+		}
+		start := at
+		if b := n.busyUntil[dir][link]; b.After(start) {
+			start = b
+		}
+		finish := start.Add(tx)
+		n.busyUntil[dir][link] = finish
+		n.queued[dir][link] = append(q, finish)
+		return finish.Add(n.cfg.LinkDelay), true
 	}
 	start := at
 	if b := n.busyUntil[dir][link]; b.After(start) {
 		start = b
 	}
-	finish := start.Add(n.txTime(p))
+	finish := start.Add(tx)
 	n.busyUntil[dir][link] = finish
-	return finish.Add(n.cfg.LinkDelay)
+	return finish.Add(n.cfg.LinkDelay), true
 }

@@ -86,9 +86,10 @@ func TestCommittedCorpusReplays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sawOverflowEntry := false
+	seen := map[string]bool{}
 	for _, o := range outcomes {
 		name := filepath.Base(o.Path)
+		seen[name] = true
 		if o.Failure != nil && o.Failure.Fatal() {
 			t.Errorf("%s: fatal failure %s: %s", name, o.Failure.Class, o.Failure.Detail)
 			continue
@@ -100,15 +101,37 @@ func TestCommittedCorpusReplays(t *testing.T) {
 		if o.Fingerprint == "" {
 			t.Errorf("%s: replay has no fingerprint", name)
 		}
-		if name == "pr4-clock-overflow.spec" {
-			sawOverflowEntry = true
+		switch name {
+		case "pr4-clock-overflow.spec":
 			if o.Status != sim.Completed {
 				t.Errorf("%s: status %v, want Completed (the PR 4 fix)", name, o.Status)
 			}
+		case "queue-overflow.spec":
+			// The congestion entry must actually overflow the finite
+			// queue — and every tail-dropped packet must be recovered
+			// through the repair machinery, never abandoned.
+			if o.Status != sim.Completed {
+				t.Errorf("%s: status %v, want Completed", name, o.Status)
+			}
+			if o.Result.QueueDrops == 0 {
+				t.Errorf("%s: replay produced no queue drops", name)
+			}
+			if o.Result.Abandoned != 0 {
+				t.Errorf("%s: %d abandonments; congestion loss must be recovered", name, o.Result.Abandoned)
+			}
+		case "replier-leave.spec":
+			if o.Status != sim.Completed {
+				t.Errorf("%s: status %v, want Completed", name, o.Status)
+			}
+			if o.Result.Abandoned != 0 {
+				t.Errorf("%s: %d abandonments after graceful replier departure", name, o.Result.Abandoned)
+			}
 		}
 	}
-	if !sawOverflowEntry {
-		t.Error("committed corpus lacks the seeded pr4-clock-overflow.spec entry")
+	for _, want := range []string{"pr4-clock-overflow.spec", "replier-churn.spec", "replier-leave.spec", "queue-overflow.spec"} {
+		if !seen[want] {
+			t.Errorf("committed corpus lacks the seeded %s entry", want)
+		}
 	}
 }
 

@@ -35,6 +35,9 @@ func FuzzParseSpec(f *testing.F) {
 		"jitter@1s-2s", "dup@1s-2s", "crash@1s", "link-down@1s-2s",
 		"crash@0s:host=0", "dup@1s-2s:prob=1", "crash@1s:host=1;;crash@2s:host=2",
 		"crash@9000h:host=1", "crash@1s:host=1,host=2", "jitter@5s--10s:max=1ms",
+		"leave@8s:host=4;join@16s:host=4", "join@5s:host=6",
+		"qcap@5s-12s:cap=2", "qcap@1s-2s:cap=0", "qcap@1s-2s:cap=-1",
+		"leave@1s", "join@1s:cap=2", "qcap@1s:cap=2", "qcap@1s-2s:host=3",
 	} {
 		f.Add(s)
 	}

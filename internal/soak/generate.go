@@ -165,6 +165,38 @@ func (g *Generator) spec(tr *trace.Trace) *chaos.Spec {
 				Host:  topology.None, Link: noLink,
 			})
 		}
+		// Membership churn rides the same receiver permutation as the
+		// crash sequences, consuming hosts the crash loop did not touch:
+		// Validate forbids mixing crash/restart and leave/join on one
+		// host, so disjointness keeps the spec valid by construction.
+		for i, n := 0, g.rng.Intn(3); i < n && next < len(perm); i++ {
+			h := recs[perm[next]]
+			next++
+			if g.rng.Float64() < 0.25 {
+				// Late joiner: absent from the start, admitted mid-run.
+				faults = append(faults, chaos.Fault{
+					Kind: chaos.Join, At: g.instant(horizon, 10, 60),
+					Host: h, Link: noLink,
+				})
+				continue
+			}
+			at := g.instant(horizon, 5, 60)
+			faults = append(faults, chaos.Fault{Kind: chaos.Leave, At: at, Host: h, Link: noLink})
+			if g.rng.Float64() < 0.5 {
+				faults = append(faults, chaos.Fault{
+					Kind: chaos.Join, At: at + g.instant(horizon, 5, 25),
+					Host: h, Link: noLink,
+				})
+			}
+		}
+		if g.rng.Float64() < 0.3 {
+			at := g.instant(horizon, 10, 60)
+			faults = append(faults, chaos.Fault{
+				Kind: chaos.QueueCap, At: at, Until: at + g.instant(horizon, 5, 20),
+				Cap:  1 + g.rng.Intn(4),
+				Host: topology.None, Link: noLink,
+			})
+		}
 		if g.rng.Float64() < 0.4 {
 			at := g.instant(horizon, 10, 60)
 			starve := chaos.Fault{

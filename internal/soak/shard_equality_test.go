@@ -11,9 +11,11 @@ import (
 // sharded-dispatch byte-identical contract: over random trials from the
 // soak generator — random traces, protocols, seeds and always-valid
 // chaos schedules mixing crashes, restarts, link flaps, jitter ramps,
-// duplicate storms and starvation — a sharded run must terminate with
-// the same status as the serial run and, on completion, the same
-// fingerprint, for several shard counts.
+// duplicate storms, starvation, membership churn (leave/join) and
+// finite-queue windows — a sharded run must terminate with the same
+// status as the serial run and, on completion, the same fingerprint,
+// for several shard counts. The deal must include churn and queue caps
+// (asserted below) so the equality contract provably covers them.
 func TestShardedFingerprintEqualityUnderChaos(t *testing.T) {
 	gen, err := NewGenerator(99, []int{4, 13}, []experiment.Protocol{
 		experiment.SRM, experiment.CESRM, experiment.LMS,
@@ -22,11 +24,14 @@ func TestShardedFingerprintEqualityUnderChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := DefaultBudget()
+	sawChurn, sawQueueCap := false, false
 	for i := 0; i < 12; i++ {
 		trial, err := gen.Next()
 		if err != nil {
 			t.Fatal(err)
 		}
+		sawChurn = sawChurn || trial.Spec.HasMembership()
+		sawQueueCap = sawQueueCap || trial.Spec.HasQueueCap()
 		tr, err := gen.loader.load(trial.TraceIndex, trial.Scale)
 		if err != nil {
 			t.Fatal(err)
@@ -57,5 +62,9 @@ func TestShardedFingerprintEqualityUnderChaos(t *testing.T) {
 					trial, shards, res.Fingerprint, serial.Fingerprint)
 			}
 		}
+	}
+	if !sawChurn || !sawQueueCap {
+		t.Fatalf("generated trials never dealt churn=%v/qcap=%v; the equality contract has a coverage hole",
+			sawChurn, sawQueueCap)
 	}
 }

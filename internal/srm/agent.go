@@ -23,6 +23,12 @@ type lossRecord struct {
 	timer        sim.Timer
 	abstainUntil sim.Time
 
+	// abandoned marks a loss given up on after Params.MaxRequestRounds
+	// back-off rounds: no further request timers are armed and the loss
+	// no longer counts as outstanding. A straggling repair can still
+	// recover it.
+	abandoned bool
+
 	// foreignRequests counts other hosts' requests observed for this
 	// loss and firstRequestAt the instant of the first request event
 	// (own or foreign) — inputs to adaptive timer adjustment.
@@ -69,6 +75,11 @@ type streamState struct {
 	// advertPending is the highest sequence number for which a deferred
 	// session-triggered detection pass has been scheduled.
 	advertPending int
+
+	// abandonedOpen counts losses abandoned after bounded retry and not
+	// (yet) recovered by a straggling repair: the run's reliability
+	// reconciliation balances MissingIn against it.
+	abandonedOpen int
 
 	// losses and replies are dense seq-indexed windows (nil = no state
 	// for that packet), not maps: both sit on the per-packet request and
@@ -294,6 +305,14 @@ type Agent struct {
 
 	stopped bool
 	crashed bool
+	// absent marks a graceful departure (Leave): the host is silent like
+	// a crashed one but keeps all state — it announced its exit rather
+	// than failing. lateJoin marks that the host (re)joined mid-session,
+	// arming the per-stream reliability floor: the first post-join
+	// evidence of each stream fixes where this host's loss detection
+	// begins, instead of seq 0.
+	absent   bool
+	lateJoin bool
 	// sessionTimer is the handle of the pending self-rescheduling
 	// session tick, retained so Crash can cancel it (a crashed host must
 	// contribute zero pending events, not an inert one per period).
@@ -383,6 +402,13 @@ func (a *Agent) Stop() { a.stopped = true }
 func (a *Agent) Crash() {
 	a.crashed = true
 	a.stopped = true
+	a.cancelProtocolTimers()
+}
+
+// cancelProtocolTimers cancels the session tick and every armed loss
+// and reply timer: the silence transition shared by Crash and Leave. A
+// silent host must contribute zero pending events, not inert ones.
+func (a *Agent) cancelProtocolTimers() {
 	a.eng.Cancel(a.sessionTimer)
 	for _, st := range a.streams {
 		if st == nil {
@@ -403,6 +429,46 @@ func (a *Agent) Crash() {
 
 // Crashed reports whether Crash has been called.
 func (a *Agent) Crashed() bool { return a.crashed }
+
+// Leave gracefully departs the group (§3.3 membership dynamics): the
+// host goes silent — no session ticks, no protocol timers, no
+// deliveries processed — but, unlike Crash, keeps every bit of state:
+// it announced its exit rather than failing. The chaos controller pairs
+// the departure with a group-wide cache invalidation (the departure
+// advert). Leaving a crashed host is a harness bug and panics.
+func (a *Agent) Leave() {
+	if a.crashed {
+		panic(fmt.Sprintf("srm: crashed host %d leaving", a.id))
+	}
+	if a.absent {
+		panic(fmt.Sprintf("srm: absent host %d leaving twice", a.id))
+	}
+	a.absent = true
+	a.stopped = true
+	a.cancelProtocolTimers()
+}
+
+// Join (re)admits an absent host mid-session. Reception and recovery
+// state restarts empty with the late-join reliability floor armed: each
+// stream's floor is fixed by the first post-join evidence of it (data,
+// session advert, request or reply), so the joiner is responsible for
+// data from its join onward, never for the history it was not a member
+// for. Distance estimates survive — a graceful leave is not amnesia.
+// Joining a present host is a harness bug and panics.
+func (a *Agent) Join() {
+	if !a.absent {
+		panic(fmt.Sprintf("srm: joining host %d that is present", a.id))
+	}
+	a.absent = false
+	a.stopped = false
+	a.lateJoin = true
+	a.streams = make([]*streamState, a.net.Tree().NumNodes())
+	a.outstanding = 0
+	a.StartSessions()
+}
+
+// Absent reports whether the host has gracefully left and not rejoined.
+func (a *Agent) Absent() bool { return a.absent }
 
 // Restart rejoins a crashed host to the group with amnesia, the
 // fail-stop restart model of §3.3's dynamic environments: all
@@ -583,7 +649,7 @@ func (a *Agent) Transmit(seq int) {
 
 // Deliver implements netsim.Host.
 func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
-	if a.crashed {
+	if a.crashed || a.absent {
 		return
 	}
 	switch m := p.Msg.(type) {
@@ -606,7 +672,27 @@ func (a *Agent) Deliver(now sim.Time, p *netsim.Packet) {
 }
 
 func (a *Agent) onData(now sim.Time, m *DataMsg) {
-	a.receivePacket(now, a.stream(m.Source), m.Seq, nil)
+	a.receivePacket(now, a.streamFloored(m.Source, m.Seq), m.Seq, nil)
+}
+
+// streamFloored returns the stream state for source, creating it on
+// first use. On a host that joined mid-session, a stream first seen
+// after the join opens at the given reliability floor: base, held and
+// cursor start at floor, so everything below it reads as held
+// (has(seq < base) is true) and loss detection begins at floor — the
+// first post-join evidence of the stream — rather than seq 0. The
+// floor depends on what that evidence is: a data or reply packet is
+// itself owed (floor = its seq), while a session advert or foreign
+// request only proves older data existed (floor = one past it).
+func (a *Agent) streamFloored(source topology.NodeID, floor int) *streamState {
+	if st := a.peek(source); st != nil {
+		return st
+	}
+	st := a.stream(source)
+	if a.lateJoin && source != a.id && floor > 0 {
+		st.base, st.held, st.cursor = floor, floor, floor
+	}
+	return st
 }
 
 // receivePacket handles arrival of packet seq, via original data
@@ -620,7 +706,13 @@ func (a *Agent) receivePacket(now sim.Time, st *streamState, seq int, reply *Rep
 	if ls := st.loss(seq); ls != nil && !ls.recovered {
 		ls.recovered = true
 		ls.recoveredAt = now
-		a.outstanding--
+		if ls.abandoned {
+			// An abandoned loss already left the outstanding count; a
+			// straggling repair closes its reconciliation debt instead.
+			st.abandonedOpen--
+		} else {
+			a.outstanding--
+		}
 		a.eng.Cancel(ls.timer)
 		info := RecoveryInfo{
 			Requestor:   topology.None,
@@ -726,8 +818,15 @@ func (a *Agent) requestTimerFired(now sim.Time, st *streamState, seq int) {
 
 // rescheduleRequest moves the loss to its next recovery round, arming a
 // new timer with the doubled interval and starting the back-off
-// abstinence period.
+// abstinence period — unless the loss has exhausted its bounded retry
+// budget, in which case recovery is abandoned instead of arming yet
+// another exponential timer (the structural fix for the clock-runaway
+// bug class: no request timer ever outlives its round budget).
 func (a *Agent) rescheduleRequest(now sim.Time, st *streamState, ls *lossRecord, seq int) {
+	if a.p.MaxRequestRounds > 0 && ls.k >= a.p.MaxRequestRounds {
+		a.abandonRequest(st, ls, seq)
+		return
+	}
 	a.eng.Cancel(ls.timer)
 	a.scheduleRequest(st, ls, seq)
 	d := a.Distance(st.source)
@@ -735,9 +834,36 @@ func (a *Agent) rescheduleRequest(now sim.Time, st *streamState, ls *lossRecord,
 	ls.k++
 }
 
+// abandonRequest gives up on recovering seq after bounded retry: the
+// request timer is cancelled for good, the loss stops counting as
+// outstanding (so the run can quiesce), and the abandonment is emitted
+// as a typed protocol event. The packet stays missing unless a
+// straggling repair delivers it; the experiment layer reconciles the
+// final missing count against AbandonedIn.
+func (a *Agent) abandonRequest(st *streamState, ls *lossRecord, seq int) {
+	if ls.abandoned || ls.recovered {
+		return
+	}
+	ls.abandoned = true
+	a.eng.Cancel(ls.timer)
+	a.outstanding--
+	st.abandonedOpen++
+	a.obs.RequestAbandoned(a.id, st.source, seq, ls.k)
+}
+
+// AbandonedIn returns how many losses of the source's stream this host
+// abandoned after bounded retry and never subsequently received.
+func (a *Agent) AbandonedIn(source topology.NodeID) int {
+	st := a.peek(source)
+	if st == nil {
+		return 0
+	}
+	return st.abandonedOpen
+}
+
 // onRequest processes a multicast repair request (§2.1, §2.2).
 func (a *Agent) onRequest(now sim.Time, m *RequestMsg) {
-	st := a.stream(m.Source)
+	st := a.streamFloored(m.Source, m.Seq+1)
 	st.noteExists(m.Seq)
 	if ls := st.loss(m.Seq); ls != nil && !ls.recovered {
 		// We share the loss. If our own request is scheduled and we are
@@ -810,7 +936,7 @@ func (a *Agent) replyTimerFired(now sim.Time, st *streamState, seq int) {
 // missing it, cancel any scheduled reply for it, and observe the reply
 // abstinence period (§2.2).
 func (a *Agent) onReply(now sim.Time, m *ReplyMsg) {
-	st := a.stream(m.Source)
+	st := a.streamFloored(m.Source, m.Seq)
 	rs := st.ensureReply(m.Seq)
 	if rs.timer.Active() {
 		a.eng.Cancel(rs.timer)
@@ -872,7 +998,7 @@ func (a *Agent) onSession(now sim.Time, m *SessionMsg) {
 		if highest < 0 {
 			continue
 		}
-		st := a.stream(src)
+		st := a.streamFloored(src, highest+1)
 		st.noteExists(highest)
 		if src == a.id || highest < st.cursor || highest <= st.advertPending {
 			continue
@@ -881,13 +1007,13 @@ func (a *Agent) onSession(now sim.Time, m *SessionMsg) {
 		h := highest
 		stream := st
 		a.eng.Schedule(a.p.DetectionSlack, func(now sim.Time) {
-			// The slack timer is fire-and-forget, so Crash cannot cancel
-			// it: a crashed host must not detect losses, and after a
-			// restart the captured stream object is an orphan — losses
-			// recorded on it could never be recovered (replies resolve
-			// against the new stream), leaving the request back-off loop
-			// running forever.
-			if a.crashed || a.peek(stream.source) != stream {
+			// The slack timer is fire-and-forget, so Crash and Leave
+			// cannot cancel it: a silent host must not detect losses, and
+			// after a restart or rejoin the captured stream object is an
+			// orphan — losses recorded on it could never be recovered
+			// (replies resolve against the new stream), leaving the
+			// request back-off loop running forever.
+			if a.crashed || a.absent || a.peek(stream.source) != stream {
 				return
 			}
 			a.detectThrough(now, stream, h)
@@ -953,8 +1079,8 @@ func (a *Agent) ReplyBlocked(now sim.Time, source topology.NodeID, seq int) bool
 // source's stream to the chosen replier, annotated with the cached
 // turning point (None without router assistance).
 func (a *Agent) UnicastExpeditedRequest(source topology.NodeID, seq int, replier, turningPoint topology.NodeID) {
-	if a.crashed {
-		panic(fmt.Sprintf("srm: crashed host %d sending expedited request", a.id))
+	if a.crashed || a.absent {
+		panic(fmt.Sprintf("srm: silent host %d sending expedited request", a.id))
 	}
 	m := &RequestMsg{
 		Source:          source,

@@ -16,6 +16,7 @@ type eventLog struct {
 	requests   []event
 	replies    []event
 	expReqs    []event
+	abandons   []event
 	sessions   int
 }
 
@@ -44,6 +45,9 @@ func (l *eventLog) ReplySent(h, source topology.NodeID, seq int, expedited bool)
 	l.replies = append(l.replies, event{host: h, seq: seq, exp: expedited})
 }
 func (l *eventLog) SessionSent(topology.NodeID) { l.sessions++ }
+func (l *eventLog) RequestAbandoned(h, source topology.NodeID, seq int, rounds int) {
+	l.abandons = append(l.abandons, event{host: h, seq: seq, round: rounds})
+}
 
 // detParams returns deterministic scheduling parameters: zero-width
 // request and reply windows (C2=D2=0) so timers are exact.

@@ -48,6 +48,13 @@ type Params struct {
 	// MaxBackoff caps the back-off exponent so interval arithmetic
 	// cannot overflow under sustained recovery failure.
 	MaxBackoff int
+	// MaxRequestRounds bounds how many request rounds a receiver
+	// attempts per loss before abandoning recovery with a
+	// RequestAbandoned event (bounded-retry degradation under
+	// membership churn: a requester whose repliers all departed must
+	// not loop exponential timers forever). Zero — the default and the
+	// paper's behavior — retries without bound.
+	MaxRequestRounds int
 }
 
 // DefaultParams returns the parameter settings used by Floyd et al. and
@@ -83,6 +90,9 @@ func (p Params) Validate() error {
 	}
 	if p.MaxBackoff < 1 || p.MaxBackoff > 62 {
 		return fmt.Errorf("srm: MaxBackoff %d out of [1, 62]", p.MaxBackoff)
+	}
+	if p.MaxRequestRounds < 0 {
+		return fmt.Errorf("srm: negative MaxRequestRounds %d", p.MaxRequestRounds)
 	}
 	return nil
 }
@@ -122,6 +132,11 @@ type Observer interface {
 	ReplySent(host, source topology.NodeID, seq int, expedited bool)
 	// SessionSent fires for every session message.
 	SessionSent(host topology.NodeID)
+	// RequestAbandoned fires when a receiver gives up on recovering a
+	// lost packet after Params.MaxRequestRounds request rounds. The
+	// packet stays missing; the run's reliability accounting must
+	// reconcile it explicitly.
+	RequestAbandoned(host, source topology.NodeID, seq int, rounds int)
 }
 
 // NopObserver ignores all events.
@@ -144,6 +159,9 @@ func (NopObserver) ReplySent(_, _ topology.NodeID, _ int, _ bool) {}
 
 // SessionSent implements Observer.
 func (NopObserver) SessionSent(topology.NodeID) {}
+
+// RequestAbandoned implements Observer.
+func (NopObserver) RequestAbandoned(_, _ topology.NodeID, _ int, _ int) {}
 
 var _ Observer = NopObserver{}
 

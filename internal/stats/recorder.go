@@ -27,6 +27,9 @@ const (
 	EventReplySent
 	// EventSessionSent records a session message.
 	EventSessionSent
+	// EventRequestAbandoned records a receiver giving up on a loss after
+	// the bounded-retry limit.
+	EventRequestAbandoned
 )
 
 // String returns the kind's stable NDJSON label.
@@ -44,6 +47,8 @@ func (k EventKind) String() string {
 		return "reply"
 	case EventSessionSent:
 		return "session"
+	case EventRequestAbandoned:
+		return "request-abandoned"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -217,4 +222,10 @@ func (r *Recorder) ReplySent(host, source topology.NodeID, seq int, expedited bo
 // SessionSent implements srm.Observer.
 func (r *Recorder) SessionSent(host topology.NodeID) {
 	r.emit(Event{Kind: EventSessionSent, At: r.clock(), Host: host})
+}
+
+// RequestAbandoned implements srm.Observer; Round carries the request
+// rounds spent before giving up.
+func (r *Recorder) RequestAbandoned(host, source topology.NodeID, seq int, rounds int) {
+	r.emit(Event{Kind: EventRequestAbandoned, At: r.clock(), Host: host, Source: source, Seq: seq, Round: rounds})
 }

@@ -62,6 +62,7 @@ type Collector struct {
 	recoveries []Recovery
 	counts     []HostCounts // NodeID-indexed transmission counters
 	lossCount  []int        // NodeID-indexed detected-loss counts
+	abandons   []int        // NodeID-indexed abandoned-loss counts
 
 	// Streaming-aggregate mode (StreamAggregates): recoveries fold into
 	// the accumulators below as they complete instead of being retained,
@@ -280,6 +281,30 @@ func (c *Collector) ReplySent(host, source topology.NodeID, seq int, expedited b
 // SessionSent implements srm.Observer.
 func (c *Collector) SessionSent(host topology.NodeID) {
 	c.host(host).Sessions++
+}
+
+// RequestAbandoned implements srm.Observer.
+func (c *Collector) RequestAbandoned(host, source topology.NodeID, seq int, rounds int) {
+	c.abandons = grown(c.abandons, int(host))
+	c.abandons[host]++
+}
+
+// Abandoned returns the number of losses host gave up on after the
+// bounded-retry limit.
+func (c *Collector) Abandoned(host topology.NodeID) int {
+	if int(host) >= len(c.abandons) {
+		return 0
+	}
+	return c.abandons[host]
+}
+
+// TotalAbandoned sums abandoned losses over all hosts.
+func (c *Collector) TotalAbandoned() int {
+	total := 0
+	for _, n := range c.abandons {
+		total += n
+	}
+	return total
 }
 
 // Recoveries returns all recorded recoveries in completion order. In

@@ -38,6 +38,17 @@ import (
 //     expedited request but recovered unexpedited — the cached replier
 //     was dead or shared the loss — must still complete within the
 //     bound, the paper's §3.3 graceful-degradation claim.
+//
+//  8. Departed hosts are silent: once NoteLeave is recorded for a host,
+//     any later event from it is a violation until NoteJoin. A join
+//     resets the host's audit rows like a restart does: the protocol
+//     caches survive a graceful leave, but loss bookkeeping restarts
+//     from the late-join reliability floor, which the first post-join
+//     contact can place below pre-leave classifications.
+//
+//  9. A loss is abandoned at most once, only after detection, never
+//     after recovery, and no further requests follow the abandonment
+//     (bounded-retry degradation terminates recovery for good).
 type Validator struct {
 	violations []Violation
 
@@ -51,6 +62,9 @@ type Validator struct {
 	// crashedAt is each host's crash instant, NodeID-indexed; -1 marks a
 	// live host.
 	crashedAt []sim.Time
+	// leftAt is each host's graceful-departure instant, NodeID-indexed;
+	// -1 marks a present host.
+	leftAt []sim.Time
 	// now supplies the virtual clock for events whose callback carries
 	// no instant; nil leaves those unchecked by the silence invariant.
 	now func() sim.Time
@@ -67,6 +81,7 @@ type packetAudit struct {
 	detAt        sim.Time
 	det          bool
 	recovered    bool
+	abandoned    bool
 	lastRound    int
 	hasRound     bool
 	expRequested bool
@@ -83,6 +98,9 @@ func (v *Validator) Reserve(n int) {
 	}
 	for len(v.crashedAt) < n {
 		v.crashedAt = append(v.crashedAt, -1)
+	}
+	for len(v.leftAt) < n {
+		v.leftAt = append(v.leftAt, -1)
 	}
 }
 
@@ -127,6 +145,31 @@ func (v *Validator) NoteRestart(host topology.NodeID, at sim.Time) {
 	v.packets.resetHost(host)
 }
 
+// NoteLeave records that host departed gracefully at the given instant;
+// any later event from it violates invariant 8. Implements the chaos
+// harness's Probe surface.
+func (v *Validator) NoteLeave(host topology.NodeID, at sim.Time) {
+	for int(host) >= len(v.leftAt) {
+		v.leftAt = append(v.leftAt, -1)
+	}
+	v.leftAt[host] = at
+}
+
+// NoteJoin records that host rejoined the group. Its audit rows reset,
+// as for NoteRestart: a graceful leave is not amnesia for the *caches*
+// (the core layer keeps them), but the SRM agent restarts its per-packet
+// loss bookkeeping from the late-join reliability floor — and that floor
+// comes from the first post-join contact, which a lagging peer can place
+// below sequences the host classified before leaving, legitimately
+// re-detecting them.
+func (v *Validator) NoteJoin(host topology.NodeID, at sim.Time) {
+	for int(host) >= len(v.leftAt) {
+		v.leftAt = append(v.leftAt, -1)
+	}
+	v.leftAt[host] = -1
+	v.packets.resetHost(host)
+}
+
 // clock returns the current virtual instant, or -1 when no clock is
 // installed.
 func (v *Validator) clockNow() sim.Time {
@@ -136,14 +179,21 @@ func (v *Validator) clockNow() sim.Time {
 	return v.now()
 }
 
-// silence checks invariant 6 for an event of host at the given instant;
-// a negative instant (no clock) skips the check.
+// silence checks invariants 6 and 8 for an event of host at the given
+// instant; a negative instant (no clock) skips the check.
 func (v *Validator) silence(host topology.NodeID, at sim.Time, what string) {
-	if at < 0 || int(host) >= len(v.crashedAt) {
+	if at < 0 {
 		return
 	}
-	if c := v.crashedAt[host]; c >= 0 && at > c {
-		v.violate("crash-silence", "host %d: %s at %v after crash at %v", host, what, at, c)
+	if int(host) < len(v.crashedAt) {
+		if c := v.crashedAt[host]; c >= 0 && at > c {
+			v.violate("crash-silence", "host %d: %s at %v after crash at %v", host, what, at, c)
+		}
+	}
+	if int(host) < len(v.leftAt) {
+		if l := v.leftAt[host]; l >= 0 && at > l {
+			v.violate("leave-silence", "host %d: %s at %v after leave at %v", host, what, at, l)
+		}
 	}
 }
 
@@ -261,6 +311,9 @@ func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int
 	if !p.det {
 		v.violate("request-undetected", "host %d: request for undetected (%d,%d)", host, source, seq)
 	}
+	if p.abandoned {
+		v.violate("request-after-abandon", "host %d: request for abandoned (%d,%d)", host, source, seq)
+	}
 	if p.hasRound {
 		if round <= p.lastRound {
 			v.violate("request-round-order", "host %d: request round %d after round %d for (%d,%d)", host, round, p.lastRound, source, seq)
@@ -270,6 +323,27 @@ func (v *Validator) RequestSent(host, source topology.NodeID, seq int, round int
 	}
 	p.lastRound = round
 	p.hasRound = true
+}
+
+// RequestAbandoned implements srm.Observer, checking invariant 9. A
+// recovery arriving after abandonment (a straggling repair) is
+// legitimate and raises no violation.
+func (v *Validator) RequestAbandoned(host, source topology.NodeID, seq int, rounds int) {
+	v.silence(host, v.clockNow(), "request abandonment")
+	p := v.packets.ensure(host, source, seq)
+	if !p.det {
+		v.violate("abandon-undetected", "host %d: abandoned undetected (%d,%d)", host, source, seq)
+	}
+	if p.recovered {
+		v.violate("abandon-after-recover", "host %d: abandoned already-recovered (%d,%d)", host, source, seq)
+	}
+	if p.abandoned {
+		v.violate("double-abandon", "host %d: (%d,%d) abandoned twice", host, source, seq)
+	}
+	if rounds < 1 {
+		v.violate("abandon-rounds", "host %d: abandoned (%d,%d) after %d rounds", host, source, seq, rounds)
+	}
+	p.abandoned = true
 }
 
 // ExpRequestSent implements srm.Observer.
@@ -344,5 +418,12 @@ func (t Tee) ReplySent(host, source topology.NodeID, seq int, expedited bool) {
 func (t Tee) SessionSent(host topology.NodeID) {
 	for _, o := range t {
 		o.SessionSent(host)
+	}
+}
+
+// RequestAbandoned implements srm.Observer.
+func (t Tee) RequestAbandoned(host, source topology.NodeID, seq int, rounds int) {
+	for _, o := range t {
+		o.RequestAbandoned(host, source, seq, rounds)
 	}
 }

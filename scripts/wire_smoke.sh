@@ -63,4 +63,22 @@ fi
 
 "$WORK/cesrm-node" -mode conform \
     "$WORK/node0.ndjson" "$WORK/node3.ndjson" "$WORK/node4.ndjson"
-echo "wire_smoke: OK"
+
+# The oracle must also detect divergence, not just bless clean captures:
+# corrupt one observed event (the first obs record's sequence number) in
+# a copy of a receiver capture and require conform mode to reject it.
+awk 'BEGIN{done=0}
+     /"kind":"obs"/ && !done {sub(/"Seq":[0-9]+/, "\"Seq\":9999"); done=1}
+     {print}' "$WORK/node3.ndjson" > "$WORK/node3-mutated.ndjson"
+if cmp -s "$WORK/node3.ndjson" "$WORK/node3-mutated.ndjson"; then
+    echo "wire_smoke: mutation did not change the capture" >&2
+    exit 1
+fi
+if "$WORK/cesrm-node" -mode conform \
+    "$WORK/node0.ndjson" "$WORK/node3-mutated.ndjson" "$WORK/node4.ndjson" \
+    > "$WORK/conform-mutated.log" 2>&1; then
+    echo "wire_smoke: conform mode accepted a corrupted capture" >&2
+    cat "$WORK/conform-mutated.log" >&2
+    exit 1
+fi
+echo "wire_smoke: OK (clean captures conform, corrupted capture rejected)"
